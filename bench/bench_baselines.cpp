@@ -1,0 +1,132 @@
+// Baseline comparison (DESIGN.md E5): communication of Algorithm 5 vs
+//  * the 1D atomic parallelization of Algorithm 4 (allgather+reduce,
+//    Θ(n) words per rank regardless of P), and
+//  * the cubic Loomis-Whitney partition of the DENSE tensor
+//    (~3n/P^{1/3} words and 2x the arithmetic).
+//
+// The paper's headline: the tetrahedral partition achieves the symmetric
+// lower bound 2n/P^{1/3}, beating the nonsymmetric cubic constant (3)
+// and the naive Θ(n) scaling. All three run on the simulator with real
+// data and are checked for identical numerical output.
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/baselines.hpp"
+#include "core/costs.hpp"
+#include "core/parallel_sttsv.hpp"
+#include "core/sttsv_seq.hpp"
+#include "partition/tetra_partition.hpp"
+#include "partition/vector_distribution.hpp"
+#include "repro_common.hpp"
+#include "simt/machine.hpp"
+#include "steiner/constructions.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "tensor/generators.hpp"
+
+namespace {
+
+bool nearly_equal(const std::vector<double>& a, const std::vector<double>& b,
+                  double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sttsv;
+  repro::banner(
+      "Baselines: tetrahedral (Alg. 5) vs cubic dense vs 1D atomic");
+
+  repro::Checker check;
+  TextTable table({"q", "P", "n", "tetra words", "cubic words (P'=c^3)",
+                   "1D words", "cubic/tetra", "1D/tetra", "tetra flops",
+                   "cubic flops"},
+                  std::vector<Align>(10, Align::kRight));
+
+  for (const std::size_t q : {2u, 3u}) {
+    const std::size_t m = q * q + 1;
+    const std::size_t P = core::spherical_processor_count(q);
+    const std::size_t c = core::cube_side_for(P);
+    const std::size_t b = q * (q + 1) * c * 2;  // divisible by both layouts
+    const std::size_t n = m * b;
+
+    Rng rng(q * 17);
+    const auto a = tensor::random_symmetric(n, rng);
+    const auto x = rng.uniform_vector(n);
+    const auto y_ref = core::sttsv_packed(a, x);
+
+    // Tetrahedral Algorithm 5.
+    const auto part =
+        partition::TetraPartition::build(steiner::spherical_system(q));
+    const partition::VectorDistribution dist(part, n);
+    simt::Machine tetra(P);
+    const auto tetra_run = core::parallel_sttsv(
+        tetra, part, dist, a, x, simt::Transport::kPointToPoint);
+
+    // Cubic dense baseline on the largest cube P' = c³ <= P.
+    simt::Machine cubic(c * c * c);
+    const auto cubic_run = core::baseline_cubic(cubic, a, x);
+
+    // 1D atomic baseline on the full P.
+    simt::Machine oned(P);
+    const auto oned_run = core::baseline_1d_atomic(oned, a, x);
+
+    check.check(nearly_equal(tetra_run.y, y_ref, 1e-8),
+                "q=" + std::to_string(q) + ": Algorithm 5 output correct");
+    check.check(nearly_equal(cubic_run.y, y_ref, 1e-8),
+                "q=" + std::to_string(q) + ": cubic baseline output correct");
+    check.check(nearly_equal(oned_run.y, y_ref, 1e-8),
+                "q=" + std::to_string(q) + ": 1D baseline output correct");
+
+    const double tw = static_cast<double>(tetra.ledger().max_words_sent());
+    const double cw = static_cast<double>(cubic.ledger().max_words_sent());
+    const double ow = static_cast<double>(oned.ledger().max_words_sent());
+
+    std::uint64_t tetra_flops = 0;
+    for (const auto t : tetra_run.ternary_mults) tetra_flops += t;
+    std::uint64_t cubic_flops = 0;
+    for (const auto t : cubic_run.ternary_mults) cubic_flops += t;
+
+    table.add_row({std::to_string(q), std::to_string(P), std::to_string(n),
+                   format_double(tw, 0), format_double(cw, 0),
+                   format_double(ow, 0), format_double(cw / tw, 2),
+                   format_double(ow / tw, 2), std::to_string(tetra_flops),
+                   std::to_string(cubic_flops)});
+
+    // Shape checks: who wins and by roughly what factor.
+    check.check(tw < cw,
+                "q=" + std::to_string(q) +
+                    ": tetrahedral beats the cubic dense partition");
+    check.check(cw < ow,
+                "q=" + std::to_string(q) +
+                    ": cubic beats the 1D atomic baseline");
+    check.check(cubic_flops == core::naive_ternary_mults(n) &&
+                    tetra_flops == core::symmetric_ternary_mults(n),
+                "q=" + std::to_string(q) +
+                    ": symmetric algorithms do ~half the arithmetic");
+    // 1D baseline scales as 2n regardless of P: factor over tetra grows
+    // like P^{1/3} ≈ q.
+    check.check_near(ow / tw,
+                     core::baseline_1d_words(n, P) /
+                         core::optimal_algorithm_words(n, q),
+                     0.05,
+                     "q=" + std::to_string(q) +
+                         ": 1D/tetra gap matches predictions");
+  }
+
+  std::cout << "\n" << table << "\n";
+  std::cout << "(cubic words are per-rank on its own grid of c^3 ranks; the"
+               " gap to tetra widens as P grows: 3n/P^(1/3) vs 2n/P^(1/3)"
+               " with symmetric storage.)\n\n";
+  std::cout << (check.exit_code() == 0 ? "BASELINE COMPARISON REPRODUCED"
+                                       : "BASELINE CHECKS FAILED")
+            << "\n";
+  return check.exit_code();
+}

@@ -1,0 +1,79 @@
+// Sequential memory-hierarchy ablation (Section 8's "limited-memory
+// scenarios" direction): on a two-level memory, STTSV's tensor traffic
+// is fixed (streams once), and tetrahedral tiling cuts the VECTOR
+// traffic by ~b² — the sequential analogue of the parallel result, and
+// the reason the same tile structure appears in the I/O-optimal
+// sequential kernels the paper builds on.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/sttsv_seq.hpp"
+#include "iosim/sequential_io.hpp"
+#include "repro_common.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "tensor/generators.hpp"
+
+int main() {
+  using namespace sttsv;
+  repro::banner(
+      "Sequential I/O: tetra-tiled vs streaming STTSV on a 2-level memory");
+
+  repro::Checker check;
+  const std::size_t n = 96;
+  Rng rng(9);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+  const auto y_ref = core::sttsv_packed(a, x);
+
+  auto check_y = [&](const iosim::IoResult& res, const std::string& what) {
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      max_diff = std::max(max_diff, std::abs(res.y[i] - y_ref[i]));
+    }
+    check.check(max_diff < 1e-9, what + ": numerically correct");
+  };
+
+  TextTable table({"schedule", "tile b", "capacity", "tensor words",
+                   "vector words", "vec/tensor"},
+                  std::vector<Align>(6, Align::kRight));
+
+  std::uint64_t prev_traffic = UINT64_MAX;
+  for (const std::size_t b : {1u, 2u, 4u, 8u, 16u}) {
+    const auto res = iosim::blocked_sttsv_io(a, x, b, 6 * b);
+    check_y(res, "blocked b=" + std::to_string(b));
+    table.add_row({"tiled", std::to_string(b), std::to_string(6 * b),
+                   std::to_string(res.tensor_words),
+                   std::to_string(res.vector_traffic),
+                   format_double(static_cast<double>(res.vector_traffic) /
+                                     static_cast<double>(res.tensor_words),
+                                 4)});
+    check.check(res.vector_traffic < prev_traffic,
+                "b=" + std::to_string(b) +
+                    ": vector traffic falls with tile size (~1/b²)");
+    prev_traffic = res.vector_traffic;
+  }
+
+  // Streaming (unblocked) baseline under an equally small cache.
+  const auto streaming = iosim::streaming_sttsv_io(a, x, 48);
+  check_y(streaming, "streaming");
+  table.add_row({"streaming", "-", "48",
+                 std::to_string(streaming.tensor_words),
+                 std::to_string(streaming.vector_traffic),
+                 format_double(static_cast<double>(streaming.vector_traffic) /
+                                   static_cast<double>(streaming.tensor_words),
+                               4)});
+  const auto tiled48 = iosim::blocked_sttsv_io(a, x, 8, 48);
+  check.check(tiled48.vector_traffic * 4 < streaming.vector_traffic,
+              "with a 48-word cache, tiling cuts vector traffic by >4x");
+
+  std::cout << "\n" << table << "\n";
+  std::cout << "(tensor traffic is compulsory — every schedule streams the "
+               "packed tensor exactly once; only vector traffic is "
+               "schedule-dependent.)\n\n";
+  std::cout << (check.exit_code() == 0 ? "SEQUENTIAL I/O ABLATION DONE"
+                                       : "SEQUENTIAL I/O CHECKS FAILED")
+            << "\n";
+  return check.exit_code();
+}

@@ -1,0 +1,170 @@
+// Microbenchmarks (google-benchmark) of the local kernels — the
+// constant-factor motivation of the paper's Section 1: exploiting
+// symmetry halves the ternary multiplications (Algorithm 4 vs 3), and
+// blocked kernels process the same work tile-by-tile.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/block_kernels.hpp"
+#include "core/sttsv_seq.hpp"
+#include "core/sttv_d.hpp"
+#include "core/two_step.hpp"
+#include "matrix/sym_matrix.hpp"
+#include "partition/blocks.hpp"
+#include "support/rng.hpp"
+#include "tensor/dense3.hpp"
+#include "tensor/generators.hpp"
+#include "tensor/sym_tensor_d.hpp"
+
+namespace {
+
+using namespace sttsv;
+
+void BM_SttsvNaiveDense(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto dense = tensor::to_dense(a);
+  const auto x = rng.uniform_vector(n);
+  for (auto _ : state) {
+    auto y = core::sttsv_naive(dense, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_SttsvNaiveDense)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_SttsvSymmetric(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+  for (auto _ : state) {
+    auto y = core::sttsv_symmetric(a, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * (n + 1) / 2));
+}
+BENCHMARK(BM_SttsvSymmetric)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_SttsvPacked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+  for (auto _ : state) {
+    auto y = core::sttsv_packed(a, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * (n + 1) / 2));
+}
+BENCHMARK(BM_SttsvPacked)->Arg(32)->Arg(64)->Arg(96)->Arg(128);
+
+void BM_BlockedKernels(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 4;
+  const std::size_t b = (n + m - 1) / m;
+  Rng rng(4);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+  const auto blocks = partition::all_lower_blocks(m);
+  std::vector<double> x_pad(m * b, 0.0);
+  std::copy(x.begin(), x.end(), x_pad.begin());
+  std::vector<double> y_pad(m * b, 0.0);
+  for (auto _ : state) {
+    std::fill(y_pad.begin(), y_pad.end(), 0.0);
+    for (const auto& c : blocks) {
+      core::BlockBuffers buf;
+      buf.x[0] = x_pad.data() + c.i * b;
+      buf.x[1] = x_pad.data() + c.j * b;
+      buf.x[2] = x_pad.data() + c.k * b;
+      buf.y[0] = y_pad.data() + c.i * b;
+      buf.y[1] = y_pad.data() + c.j * b;
+      buf.y[2] = y_pad.data() + c.k * b;
+      benchmark::DoNotOptimize(core::apply_block(a, c, b, buf));
+    }
+    benchmark::DoNotOptimize(y_pad.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * (n + 1) / 2));
+}
+BENCHMARK(BM_BlockedKernels)->Arg(32)->Arg(64)->Arg(96)->Arg(128);
+
+void BM_SingleOffDiagonalBlock(benchmark::State& state) {
+  const auto b = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 3 * b;
+  Rng rng(5);
+  const auto a = tensor::random_symmetric(n, rng);
+  std::vector<double> x(n, 1.0);
+  std::vector<double> y(n, 0.0);
+  const partition::BlockCoord c{2, 1, 0};
+  core::BlockBuffers buf;
+  buf.x[0] = x.data() + 2 * b;
+  buf.x[1] = x.data() + b;
+  buf.x[2] = x.data();
+  buf.y[0] = y.data() + 2 * b;
+  buf.y[1] = y.data() + b;
+  buf.y[2] = y.data();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::apply_block(a, c, b, buf));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(3 * b * b * b));
+}
+BENCHMARK(BM_SingleOffDiagonalBlock)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_TwoStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+  for (auto _ : state) {
+    auto y = core::sttsv_two_step(a, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n + n * n));
+}
+BENCHMARK(BM_TwoStep)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_Symv(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const auto a = matrix::random_symmetric_matrix(n, rng);
+  const auto x = rng.uniform_vector(n);
+  for (auto _ : state) {
+    auto y = matrix::symv(a, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * (n + 1) / 2));
+}
+BENCHMARK(BM_Symv)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_SttvOrderD(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 24;
+  Rng rng(8);
+  tensor::SymTensorD a(n, d);
+  for (std::size_t idx = 0; idx < a.packed_size(); ++idx) {
+    a.data()[idx] = rng.next_in(-1.0, 1.0);
+  }
+  const auto x = rng.uniform_vector(n);
+  for (auto _ : state) {
+    auto y = core::sttv_symmetric_d(a, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(core::symmetric_dary_mults(n, d)));
+}
+BENCHMARK(BM_SttvOrderD)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Reproduces paper Table 2: row block sets Q_i of the tetrahedral block
+// partition for m = 10, P = 30 — the processors among which each vector
+// row block is distributed.
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "partition/tetra_partition.hpp"
+#include "repro_common.hpp"
+#include "steiner/constructions.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace sttsv;
+  repro::banner("Table 2: row block sets Q_i for m=10, P=30 (q=3)");
+
+  const auto part =
+      partition::TetraPartition::build(steiner::spherical_system(3));
+
+  TextTable table({"i", "Q_i"}, {Align::kRight, Align::kLeft});
+  for (std::size_t i = 0; i < part.num_row_blocks(); ++i) {
+    table.add_row({std::to_string(i + 1), repro::set_1based(part.Q(i))});
+  }
+  std::cout << table << "\n";
+
+  repro::Checker check;
+  bool sizes_ok = true;
+  std::vector<std::size_t> appearances(part.num_processors(), 0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    sizes_ok = sizes_ok && part.Q(i).size() == 12;
+    for (const auto p : part.Q(i)) ++appearances[p];
+  }
+  check.check(sizes_ok,
+              "|Q_i| = q(q+1) = 12 processors per row block (Table 2 rows)");
+  bool appear_ok = true;
+  for (const auto a : appearances) appear_ok = appear_ok && a == 4;
+  check.check(appear_ok,
+              "every processor appears in exactly |R_p| = 4 row block sets");
+
+  // Cross-consistency with Table 1: p in Q_i iff i in R_p.
+  bool cross_ok = true;
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (const auto p : part.Q(i)) {
+      const auto& Rp = part.R(p);
+      cross_ok = cross_ok &&
+                 std::binary_search(Rp.begin(), Rp.end(), i);
+    }
+  }
+  check.check(cross_ok, "Q_i consistent with the R_p column of Table 1");
+
+  std::cout << "\n" << (check.exit_code() == 0 ? "TABLE 2 REPRODUCED" :
+                        "TABLE 2 FAILED") << "\n";
+  return check.exit_code();
+}

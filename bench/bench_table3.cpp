@@ -1,0 +1,82 @@
+// Reproduces paper Table 3 (Appendix A): the tetrahedral block partition
+// from the Steiner (8,4,3) system with m = 8, P = 14, including the Q_i
+// columns. The R_p column is checked for EXACT equality with the paper's
+// sets: S(8,4,3) as printed in the paper is precisely the Boolean
+// quadruple system (xor-zero 4-subsets of {0..7}) shifted to 1-based.
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <set>
+
+#include "partition/tetra_partition.hpp"
+#include "repro_common.hpp"
+#include "steiner/constructions.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace sttsv;
+  repro::banner("Table 3: S(8,4,3) partition, m=8, P=14 (Appendix A)");
+
+  const auto sys = steiner::boolean_quadruple_system(3);
+  const auto part = partition::TetraPartition::build(sys);
+
+  TextTable table({"p", "R_p", "N_p", "D_p"},
+                  {Align::kRight, Align::kLeft, Align::kLeft, Align::kLeft});
+  for (std::size_t p = 0; p < part.num_processors(); ++p) {
+    table.add_row({std::to_string(p + 1), repro::set_1based(part.R(p)),
+                   repro::blocks_1based(part.N(p)),
+                   repro::blocks_1based(part.D(p))});
+  }
+  std::cout << table << "\n";
+
+  TextTable qtable({"i", "Q_i"}, {Align::kRight, Align::kLeft});
+  for (std::size_t i = 0; i < part.num_row_blocks(); ++i) {
+    qtable.add_row({std::to_string(i + 1), repro::set_1based(part.Q(i))});
+  }
+  std::cout << qtable << "\n";
+
+  repro::Checker check;
+
+  // The paper's R_p column, 1-based.
+  const std::vector<std::vector<std::size_t>> paper_rp = {
+      {1, 2, 3, 4}, {1, 2, 5, 6}, {1, 2, 7, 8}, {1, 3, 5, 7},
+      {1, 3, 6, 8}, {1, 4, 5, 8}, {1, 4, 6, 7}, {2, 3, 5, 8},
+      {2, 3, 6, 7}, {2, 4, 5, 7}, {2, 4, 6, 8}, {3, 4, 5, 6},
+      {3, 4, 7, 8}, {5, 6, 7, 8}};
+  std::set<std::vector<std::size_t>> paper_sets;
+  for (auto blk : paper_rp) {
+    for (auto& v : blk) --v;
+    paper_sets.insert(blk);
+  }
+  std::set<std::vector<std::size_t>> our_sets(sys.blocks().begin(),
+                                              sys.blocks().end());
+  check.check(paper_sets == our_sets,
+              "R_p column EXACTLY matches the paper's 14 sets");
+
+  bool n_sizes = true;
+  std::size_t central = 0;
+  for (std::size_t p = 0; p < 14; ++p) {
+    n_sizes = n_sizes && part.N(p).size() == 4;
+    central += part.D(p).size();
+  }
+  check.check(n_sizes, "|N_p| = 4 non-central diagonal blocks everywhere");
+  check.check(central == 8, "8 central diagonal blocks assigned in total");
+
+  bool q_sizes = true;
+  for (std::size_t i = 0; i < 8; ++i) {
+    q_sizes = q_sizes && part.Q(i).size() == 7;
+  }
+  check.check(q_sizes, "|Q_i| = 7 processors per row block (Table 3)");
+
+  try {
+    part.validate();
+    check.check(true, "partition covers the lower tetrahedron exactly once");
+  } catch (const std::exception& e) {
+    check.check(false, std::string("partition validation: ") + e.what());
+  }
+
+  std::cout << "\n" << (check.exit_code() == 0 ? "TABLE 3 REPRODUCED" :
+                        "TABLE 3 FAILED") << "\n";
+  return check.exit_code();
+}

@@ -1,0 +1,64 @@
+#pragma once
+// Shared helpers for the reproduction binaries: a tiny check harness that
+// prints PASS/FAIL lines and accumulates an exit code, plus formatting
+// utilities for paper-style tables.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "partition/blocks.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+namespace sttsv::repro {
+
+/// Collects reproduction checks; exit_code() is 0 iff all passed.
+class Checker {
+ public:
+  void check(bool ok, const std::string& what) {
+    std::cout << (ok ? "  [PASS] " : "  [FAIL] ") << what << "\n";
+    if (!ok) ++failures_;
+  }
+
+  void check_near(double got, double want, double rel_tol,
+                  const std::string& what) {
+    const double denom = want == 0.0 ? 1.0 : want;
+    const bool ok = std::abs(got - want) / std::abs(denom) <= rel_tol;
+    std::ostringstream os;
+    os << what << " (got " << got << ", expected " << want << " ±"
+       << rel_tol * 100 << "%)";
+    check(ok, os.str());
+  }
+
+  [[nodiscard]] int exit_code() const { return failures_ == 0 ? 0 : 1; }
+  [[nodiscard]] std::size_t failures() const { return failures_; }
+
+ private:
+  std::size_t failures_ = 0;
+};
+
+/// Renders an index set 1-based, matching the paper's tables.
+inline std::string set_1based(const std::vector<std::size_t>& v) {
+  std::vector<std::size_t> shifted(v);
+  for (auto& x : shifted) ++x;
+  return brace_set(shifted);
+}
+
+/// Renders a list of block coordinates 1-based: "(7,2,2) (2,1,1)".
+inline std::string blocks_1based(
+    const std::vector<partition::BlockCoord>& blocks) {
+  std::string out;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (i) out += ' ';
+    out += triple(blocks[i].i + 1, blocks[i].j + 1, blocks[i].k + 1);
+  }
+  return out.empty() ? "{}" : out;
+}
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace sttsv::repro

@@ -1,0 +1,70 @@
+// Communication planner: given a rough processor budget, list the
+// admissible processor counts (Steiner families), and for a chosen one
+// print the predicted communication per rank, the lower bound, the
+// point-to-point schedule length, and the memory per rank — everything a
+// user needs to size a run before touching data.
+
+#include <iostream>
+
+#include "core/costs.hpp"
+#include "partition/tetra_partition.hpp"
+#include "partition/vector_distribution.hpp"
+#include "schedule/comm_schedule.hpp"
+#include "steiner/constructions.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace sttsv;
+
+  const std::size_t budget = 400;  // "I have about this many processors"
+  const std::size_t n = 4200;      // problem size to plan for
+
+  std::cout << "admissible processor counts up to " << budget << ":\n\n";
+  TextTable table({"family", "param", "m (row blocks)", "r", "P",
+                   "words/rank @ n", "lower bound", "p2p steps/vector"},
+                  std::vector<Align>(8, Align::kRight));
+
+  for (const auto& f : steiner::admissible_processor_counts(budget)) {
+    std::string param = f.family == "spherical"
+                            ? "q=" + std::to_string(f.q)
+                            : "k=" + std::to_string(f.k);
+    std::string words = "-";
+    std::string steps = "-";
+    if (f.family == "spherical") {
+      words = format_double(core::optimal_algorithm_words(n, f.q), 0);
+      steps = std::to_string(core::p2p_steps_per_vector(f.q));
+    }
+    table.add_row({f.family, param, std::to_string(f.m),
+                   std::to_string(f.r), std::to_string(f.P), words,
+                   format_double(core::lower_bound_words(n, f.P), 0),
+                   steps});
+  }
+  std::cout << table << "\n";
+
+  // Detailed plan for the largest admissible spherical count.
+  std::size_t q = 0;
+  for (const auto& f : steiner::admissible_processor_counts(budget)) {
+    if (f.family == "spherical") q = f.q;
+  }
+  const auto part =
+      partition::TetraPartition::build(steiner::spherical_system(q));
+  const partition::VectorDistribution dist(part, n);
+  const auto sched = schedule::build_schedule(part);
+
+  std::cout << "plan for q = " << q << " (P = " << part.num_processors()
+            << "):\n";
+  std::cout << "  row blocks m = " << part.num_row_blocks()
+            << ", block length b = " << dist.block_length_b()
+            << " (padded n = " << dist.padded_n() << ")\n";
+  std::cout << "  tensor entries per rank <= "
+            << core::per_rank_storage_bound(q, dist.block_length_b())
+            << " (~= n^3/6P)\n";
+  std::cout << "  vector words per rank = " << dist.local_elements(0)
+            << "\n";
+  std::cout << "  exchange schedule: " << sched.num_rounds()
+            << " rounds per vector (" << sched.two_block_rounds()
+            << " two-share + " << sched.one_block_rounds()
+            << " one-share), vs P-1 = " << part.num_processors() - 1
+            << " for All-to-All\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "apps/cp_decompose.hpp"
+
+#include <cmath>
+
+#include "apps/cp_gradient.hpp"
+#include "apps/vec_ops.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace sttsv::apps {
+
+CpResult cp_decompose(const tensor::SymTensor3& a, const CpOptions& opts) {
+  STTSV_REQUIRE(opts.rank >= 1, "rank must be >= 1");
+  const std::size_t n = a.dim();
+  Rng rng(opts.seed);
+
+  CpResult result;
+  result.columns.assign(opts.rank, {});
+  for (auto& col : result.columns) {
+    col = rng.uniform_vector(n, -0.5, 0.5);
+  }
+
+  double step = opts.initial_step;
+  double loss = cp_objective(a, result.columns);
+  result.loss_history.push_back(loss);
+
+  for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    const auto grad = cp_gradient(a, result.columns);
+
+    // Backtracking: halve the step until the objective decreases.
+    bool improved = false;
+    for (int attempt = 0; attempt < 30; ++attempt) {
+      std::vector<std::vector<double>> trial(opts.rank);
+      for (std::size_t l = 0; l < opts.rank; ++l) {
+        trial[l] = axpy(result.columns[l], -step, grad[l]);
+      }
+      const double trial_loss = cp_objective(a, trial);
+      if (trial_loss < loss) {
+        result.columns = std::move(trial);
+        loss = trial_loss;
+        improved = true;
+        // Gentle growth keeps steps near the stable edge.
+        step *= 1.2;
+        break;
+      }
+      step *= 0.5;
+    }
+    result.loss_history.push_back(loss);
+    result.iterations = it;
+    if (!improved) {
+      result.converged = true;  // no descent direction progress left
+      break;
+    }
+    const double prev = result.loss_history[result.loss_history.size() - 2];
+    if (prev > 0.0 && (prev - loss) / prev < opts.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+double cp_relative_error(const tensor::SymTensor3& a,
+                         const std::vector<std::vector<double>>& columns) {
+  const double norm_a = a.frobenius_norm();
+  STTSV_REQUIRE(norm_a > 0.0, "relative error of the zero tensor");
+  const double obj = cp_objective(a, columns);
+  // cp_objective = ||A - M||²/6; undo the 1/6.
+  return std::sqrt(std::max(0.0, 6.0 * obj)) / norm_a;
+}
+
+}  // namespace sttsv::apps

@@ -1,0 +1,36 @@
+#pragma once
+// Gradient-descent symmetric CP decomposition built on Algorithm 2's
+// gradient: A ≈ Σ_ℓ x_ℓ ∘ x_ℓ ∘ x_ℓ. A deliberately simple first-order
+// optimizer (fixed step with backtracking halving) — the point of the
+// example is that every iteration's cost is r STTSV calls, the paper's
+// bottleneck kernel.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/sym_tensor.hpp"
+
+namespace sttsv::apps {
+
+struct CpOptions {
+  std::size_t rank = 2;
+  std::size_t max_iterations = 500;
+  double initial_step = 0.5;
+  double tolerance = 1e-10;  // stop when relative loss improvement is below
+  std::uint64_t seed = 7;
+};
+
+struct CpResult {
+  std::vector<std::vector<double>> columns;  // factor columns x_ℓ
+  std::vector<double> loss_history;          // objective per iteration
+  bool converged = false;
+  std::size_t iterations = 0;
+};
+
+CpResult cp_decompose(const tensor::SymTensor3& a, const CpOptions& opts);
+
+/// Relative reconstruction error ||A - Σ x∘x∘x||_F / ||A||_F.
+double cp_relative_error(const tensor::SymTensor3& a,
+                         const std::vector<std::vector<double>>& columns);
+
+}  // namespace sttsv::apps

@@ -1,0 +1,83 @@
+#include "apps/cp_gradient.hpp"
+
+#include <functional>
+
+#include "apps/vec_ops.hpp"
+#include "core/parallel_sttsv.hpp"
+#include "core/sttsv_seq.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::apps {
+
+namespace {
+
+using SttsvFn =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+std::vector<std::vector<double>> gradient_impl(
+    const tensor::SymTensor3& a,
+    const std::vector<std::vector<double>>& columns, const SttsvFn& sttsv) {
+  const std::size_t n = a.dim();
+  const std::size_t r = columns.size();
+  STTSV_REQUIRE(r >= 1, "need at least one factor column");
+  for (const auto& col : columns) {
+    STTSV_REQUIRE(col.size() == n, "factor column length mismatch");
+  }
+
+  // Ỹ[:,ℓ] = A ×₂ x_ℓ ×₃ x_ℓ — the r STTSV calls (Algorithm 2 line 5).
+  std::vector<std::vector<double>> y_tilde(r);
+  for (std::size_t l = 0; l < r; ++l) y_tilde[l] = sttsv(columns[l]);
+
+  // G = (XᵀX) ∗ (XᵀX), then Y = X·G - Ỹ (Algorithm 2 lines 3 and 7).
+  const auto g = hadamard_squared_gram(columns);
+  std::vector<std::vector<double>> grad(r, std::vector<double>(n, 0.0));
+  for (std::size_t l = 0; l < r; ++l) {
+    for (std::size_t lp = 0; lp < r; ++lp) {
+      const double w = g[lp][l];
+      for (std::size_t i = 0; i < n; ++i) {
+        grad[l][i] += columns[lp][i] * w;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) grad[l][i] -= y_tilde[l][i];
+  }
+  return grad;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> cp_gradient(
+    const tensor::SymTensor3& a,
+    const std::vector<std::vector<double>>& columns) {
+  return gradient_impl(a, columns, [&a](const std::vector<double>& x) {
+    return core::sttsv_packed(a, x);
+  });
+}
+
+std::vector<std::vector<double>> cp_gradient_parallel(
+    simt::Machine& machine, const partition::TetraPartition& part,
+    const partition::VectorDistribution& dist, const tensor::SymTensor3& a,
+    const std::vector<std::vector<double>>& columns,
+    simt::Transport transport) {
+  return gradient_impl(a, columns, [&](const std::vector<double>& x) {
+    return core::parallel_sttsv(machine, part, dist, a, x, transport).y;
+  });
+}
+
+double cp_objective(const tensor::SymTensor3& a,
+                    const std::vector<std::vector<double>>& columns) {
+  const double norm_a = a.frobenius_norm();
+  double cross = 0.0;
+  for (const auto& col : columns) {
+    cross += core::full_contraction(a, col);
+  }
+  double model = 0.0;
+  for (const auto& ca : columns) {
+    for (const auto& cb : columns) {
+      const double inner = dot(ca, cb);
+      model += inner * inner * inner;
+    }
+  }
+  return (norm_a * norm_a - 2.0 * cross + model) / 6.0;
+}
+
+}  // namespace sttsv::apps

@@ -1,0 +1,65 @@
+#include "apps/eigensearch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/vec_ops.hpp"
+
+namespace sttsv::apps {
+
+namespace {
+
+/// Canonical representative of the (x, λ)/(-x, -λ) couple: make the
+/// entry of largest magnitude positive; flip λ in step.
+void canonicalize(std::vector<double>& x, double& lambda) {
+  std::size_t arg = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (std::abs(x[i]) > std::abs(x[arg])) arg = i;
+  }
+  if (x[arg] < 0.0) {
+    for (auto& v : x) v = -v;
+    lambda = -lambda;
+  }
+}
+
+}  // namespace
+
+std::vector<Eigenpair> find_eigenpairs(const tensor::SymTensor3& a,
+                                       const EigenSearchOptions& opts) {
+  std::vector<Eigenpair> found;
+  for (std::size_t start = 0; start < opts.num_starts; ++start) {
+    HopmOptions run = opts.hopm;
+    run.seed = opts.seed_base + start;
+    HopmResult res = hopm(a, run);
+    if (!res.converged) continue;
+
+    canonicalize(res.eigenvector, res.eigenvalue);
+    bool merged = false;
+    for (Eigenpair& pair : found) {
+      if (std::abs(pair.value - res.eigenvalue) <= opts.dedup_value_tol &&
+          sign_invariant_distance(pair.vector, res.eigenvector) <=
+              opts.dedup_vector_tol) {
+        ++pair.hits;
+        // Keep the better-converged representative.
+        if (res.residual < pair.residual) {
+          pair.value = res.eigenvalue;
+          pair.vector = res.eigenvector;
+          pair.residual = res.residual;
+        }
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      found.push_back(Eigenpair{res.eigenvalue, std::move(res.eigenvector),
+                                res.residual, 1});
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Eigenpair& a_, const Eigenpair& b_) {
+              return std::abs(a_.value) > std::abs(b_.value);
+            });
+  return found;
+}
+
+}  // namespace sttsv::apps

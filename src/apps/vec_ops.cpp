@@ -1,0 +1,59 @@
+#include "apps/vec_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace sttsv::apps {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  STTSV_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+double normalize(std::vector<double>& a) {
+  const double n = norm2(a);
+  STTSV_REQUIRE(n > 0.0, "cannot normalize the zero vector");
+  for (auto& x : a) x /= n;
+  return n;
+}
+
+std::vector<double> axpy(const std::vector<double>& a, double s,
+                         const std::vector<double>& b) {
+  STTSV_REQUIRE(a.size() == b.size(), "axpy: size mismatch");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+double sign_invariant_distance(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  STTSV_REQUIRE(a.size() == b.size(), "distance: size mismatch");
+  double dm = 0.0;
+  double dp = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dm += (a[i] - b[i]) * (a[i] - b[i]);
+    dp += (a[i] + b[i]) * (a[i] + b[i]);
+  }
+  return std::sqrt(std::min(dm, dp));
+}
+
+std::vector<std::vector<double>> hadamard_squared_gram(
+    const std::vector<std::vector<double>>& columns) {
+  const std::size_t r = columns.size();
+  std::vector<std::vector<double>> g(r, std::vector<double>(r, 0.0));
+  for (std::size_t a = 0; a < r; ++a) {
+    for (std::size_t b = a; b < r; ++b) {
+      const double inner = dot(columns[a], columns[b]);
+      g[a][b] = g[b][a] = inner * inner;
+    }
+  }
+  return g;
+}
+
+}  // namespace sttsv::apps

@@ -1,0 +1,29 @@
+#pragma once
+// Small dense vector/matrix helpers shared by the applications.
+
+#include <cstddef>
+#include <vector>
+
+namespace sttsv::apps {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+double norm2(const std::vector<double>& a);
+
+/// a <- a / ||a||; returns the norm (throws on zero vector).
+double normalize(std::vector<double>& a);
+
+/// a + s·b.
+std::vector<double> axpy(const std::vector<double>& a, double s,
+                         const std::vector<double>& b);
+
+/// Distance up to sign: min(||a-b||, ||a+b||) — eigenvectors are defined
+/// up to sign, so convergence checks use this.
+double sign_invariant_distance(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+/// Gram-like matrix G = (XᵀX) ∗ (XᵀX) (elementwise square of the Gram
+/// matrix) for columns X (Algorithm 2 line 3). X is a vector of columns.
+std::vector<std::vector<double>> hadamard_squared_gram(
+    const std::vector<std::vector<double>>& columns);
+
+}  // namespace sttsv::apps

@@ -1,0 +1,96 @@
+#include "core/block_kernels.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace sttsv::core {
+
+std::uint64_t apply_block(const tensor::SymTensor3& a,
+                          const partition::BlockCoord& c, std::size_t b,
+                          const BlockBuffers& buf) {
+  STTSV_REQUIRE(c.i >= c.j && c.j >= c.k, "block coordinate must be sorted");
+  for (int s = 0; s < 3; ++s) {
+    STTSV_REQUIRE(buf.x[s] != nullptr && buf.y[s] != nullptr,
+                  "kernel buffers must be bound");
+  }
+  const std::size_t n = a.dim();
+  const double* data = a.data();
+
+  const std::size_t i0 = c.i * b;
+  const std::size_t j0 = c.j * b;
+  const std::size_t k0 = c.k * b;
+  const std::size_t i_end = std::min(i0 + b, n);
+  const std::size_t j_end = std::min(j0 + b, n);
+  const std::size_t k_end = std::min(k0 + b, n);
+  if (i0 >= n) return 0;  // fully padded block
+
+  const bool ij_same_block = (c.i == c.j);
+  const bool jk_same_block = (c.j == c.k);
+
+  const double* xi = buf.x[0];
+  const double* xj = buf.x[1];
+  const double* xk = buf.x[2];
+  double* yi = buf.y[0];
+  double* yj = buf.y[1];
+  double* yk = buf.y[2];
+
+  std::uint64_t count = 0;
+  for (std::size_t gi = i0; gi < i_end; ++gi) {
+    const std::size_t li = gi - i0;
+    const double xiv = xi[li];
+    // Only gj <= gi contributes when i and j ranges coincide.
+    const std::size_t gj_end = ij_same_block ? std::min(gi + 1, j_end) : j_end;
+    for (std::size_t gj = j0; gj < gj_end; ++gj) {
+      const std::size_t lj = gj - j0;
+      const double xjv = xj[lj];
+      const std::size_t row_base = gi * (gi + 1) * (gi + 2) / 6 +
+                                   gj * (gj + 1) / 2;
+      const std::size_t gk_end =
+          jk_same_block ? std::min(gj + 1, k_end) : k_end;
+      if (gi != gj) {
+        // Strict gi > gj: the gk loop splits into a strict run gk < gj
+        // (3 updates each) and the possible gk == gj tail (2 updates).
+        std::size_t gk = k0;
+        const std::size_t strict_end = std::min(gk_end, gj);
+        for (; gk < strict_end; ++gk) {
+          const double v = data[row_base + gk];
+          const double xkv = xk[gk - k0];
+          yi[li] += 2.0 * v * xjv * xkv;
+          yj[lj] += 2.0 * v * xiv * xkv;
+          yk[gk - k0] += 2.0 * v * xiv * xjv;
+          count += 3;
+        }
+        if (gk < gk_end && gk == gj) {
+          // gi > gj == gk.
+          const double v = data[row_base + gk];
+          const double xkv = xk[gk - k0];
+          yi[li] += v * xjv * xkv;
+          yj[lj] += 2.0 * v * xiv * xkv;
+          count += 2;
+        }
+      } else {
+        // gi == gj (only in diagonal blocks).
+        std::size_t gk = k0;
+        const std::size_t strict_end = std::min(gk_end, gj);
+        for (; gk < strict_end; ++gk) {
+          // gi == gj > gk.
+          const double v = data[row_base + gk];
+          const double xkv = xk[gk - k0];
+          yi[li] += 2.0 * v * xjv * xkv;
+          yk[gk - k0] += v * xiv * xjv;
+          count += 2;
+        }
+        if (gk < gk_end && gk == gj) {
+          // gi == gj == gk: central element.
+          const double v = data[row_base + gk];
+          yi[li] += v * xjv * xk[gk - k0];
+          count += 1;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace sttsv::core

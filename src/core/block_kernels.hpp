@@ -1,0 +1,32 @@
+#pragma once
+// Local block kernels: lines 24-36 of Algorithm 5. Each owned b×b×b block
+// of the symmetric tensor updates (up to) three local y row blocks using
+// (up to) three local x row blocks, with the Algorithm-4 multiplicity
+// rules applied at the *element* level, so diagonal blocks are handled by
+// the same kernel.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "partition/blocks.hpp"
+#include "tensor/sym_tensor.hpp"
+
+namespace sttsv::core {
+
+/// Row-block-local views for a block kernel invocation. Slot 0 corresponds
+/// to row block c.i, slot 1 to c.j, slot 2 to c.k. For diagonal blocks the
+/// caller passes aliased pointers (same buffer in multiple slots).
+struct BlockBuffers {
+  const double* x[3] = {nullptr, nullptr, nullptr};
+  double* y[3] = {nullptr, nullptr, nullptr};
+};
+
+/// Accumulates all contributions of the lower-tetra entries of block c
+/// (edge length b) of tensor `a` into the y buffers. Entries with any
+/// global index >= a.dim() are padding and contribute nothing. Returns
+/// the number of ternary multiplications performed (Section 7.1 counting).
+std::uint64_t apply_block(const tensor::SymTensor3& a,
+                          const partition::BlockCoord& c, std::size_t b,
+                          const BlockBuffers& buf);
+
+}  // namespace sttsv::core

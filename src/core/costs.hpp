@@ -1,0 +1,56 @@
+#pragma once
+// Closed-form cost expressions from the paper, used by benches to print
+// "paper prediction" columns next to measured values.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sttsv::core {
+
+/// Theorem 5.2: some processor communicates at least
+/// 2 (n(n-1)(n-2)/P)^{1/3} - 2 n/P words.
+double lower_bound_words(std::size_t n, std::size_t P);
+
+/// Section 7.2.2: per-processor bandwidth cost of Algorithm 5 with the
+/// scheduled point-to-point exchange, counting both vectors:
+/// 2 (n (q+1)/(q²+1) - n/P) with P = q(q²+1). Exact when q(q+1) | b.
+double optimal_algorithm_words(std::size_t n, std::size_t q);
+
+/// Section 7.2.2 (All-to-All variant): 4n/(q+1) · (1 - 1/P),
+/// asymptotically twice the lower bound's leading term.
+double all_to_all_words(std::size_t n, std::size_t q);
+
+/// Section 7.2.2 / Theorem 7.2.2: point-to-point steps per vector,
+/// q³/2 + 3q²/2 - 1 (< P-1).
+std::size_t p2p_steps_per_vector(std::size_t q);
+
+/// Number of ternary multiplications of the symmetric Algorithm 4:
+/// n²(n+1)/2 (Section 3).
+std::uint64_t symmetric_ternary_mults(std::size_t n);
+
+/// Ternary multiplications of the naive Algorithm 3: n³.
+std::uint64_t naive_ternary_mults(std::size_t n);
+
+/// Section 7.1: per-processor ternary-mult bound of Algorithm 5,
+/// (q+1)q(q-1)/6·3b³ + q·3b²(b-1) + 3b(b-1)(b-2)/6 + 2b(b-1) + b
+/// (the last three terms only when the rank holds a central block).
+std::uint64_t per_rank_ternary_bound(std::size_t q, std::size_t b);
+
+/// Section 6.1.3: per-processor stored tensor entries,
+/// (q+1)q(q-1)/6·b³ + q·b²(b+1)/2 + b(b+1)(b+2)/6 ≈ n³/(6P).
+std::uint64_t per_rank_storage_bound(std::size_t q, std::size_t b);
+
+/// Order-d generalization of Theorem 5.2 (paper Section 8: "the lower
+/// bound arguments can easily be extended"): with d!|V| <= |∪φ|^d the
+/// same minimization gives at least
+///   2 (n(n-1)···(n-d+1) / P)^{1/d} - 2n/P
+/// words for some processor. d = 3 reduces to lower_bound_words.
+double lower_bound_words_d(std::size_t n, std::size_t order, std::size_t P);
+
+/// P = q(q²+1) for the spherical family.
+std::size_t spherical_processor_count(std::size_t q);
+
+/// Number of row blocks m = q²+1 for the spherical family.
+std::size_t spherical_row_blocks(std::size_t q);
+
+}  // namespace sttsv::core

@@ -1,0 +1,293 @@
+#include "core/distributed_vector.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/block_kernels.hpp"
+#include "simt/collective.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::core {
+
+namespace {
+
+using partition::Share;
+using partition::TetraPartition;
+using partition::VectorDistribution;
+using simt::Delivery;
+using simt::Envelope;
+
+std::vector<std::size_t> common_blocks(const TetraPartition& part,
+                                       std::size_t p, std::size_t peer) {
+  const auto& a = part.R(p);
+  const auto& b = part.R(peer);
+  std::vector<std::size_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::size_t> peers_of(const TetraPartition& part,
+                                  std::size_t p) {
+  std::vector<std::size_t> peers;
+  for (const std::size_t i : part.R(p)) {
+    for (const std::size_t other : part.Q(i)) {
+      if (other != p) peers.push_back(other);
+    }
+  }
+  std::sort(peers.begin(), peers.end());
+  peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+  return peers;
+}
+
+}  // namespace
+
+DistributedVector::DistributedVector(const VectorDistribution& dist)
+    : dist_(&dist), shares_(dist.num_processors()) {
+  const auto& part_blocks = [&](std::size_t p) {
+    return dist.required_blocks(p);
+  };
+  for (std::size_t p = 0; p < shares_.size(); ++p) {
+    shares_[p].row_blocks = part_blocks(p);
+    shares_[p].slices.resize(shares_[p].row_blocks.size());
+    for (std::size_t t = 0; t < shares_[p].row_blocks.size(); ++t) {
+      const Share s = dist.share(shares_[p].row_blocks[t], p);
+      shares_[p].slices[t].assign(s.length, 0.0);
+    }
+  }
+}
+
+DistributedVector DistributedVector::scatter(
+    const VectorDistribution& dist, const std::vector<double>& global) {
+  STTSV_REQUIRE(global.size() == dist.logical_n(),
+                "global vector length mismatch");
+  DistributedVector dv(dist);
+  const std::size_t b = dist.block_length_b();
+  std::vector<double> padded(dist.padded_n(), 0.0);
+  std::copy(global.begin(), global.end(), padded.begin());
+  for (std::size_t p = 0; p < dv.shares_.size(); ++p) {
+    auto& rs = dv.shares_[p];
+    for (std::size_t t = 0; t < rs.row_blocks.size(); ++t) {
+      const std::size_t i = rs.row_blocks[t];
+      const Share s = dist.share(i, p);
+      std::copy_n(padded.data() + i * b + s.offset, s.length,
+                  rs.slices[t].data());
+    }
+  }
+  return dv;
+}
+
+std::vector<double> DistributedVector::gather() const {
+  const auto& dist = *dist_;
+  const std::size_t b = dist.block_length_b();
+  std::vector<double> padded(dist.padded_n(), 0.0);
+  for (std::size_t p = 0; p < shares_.size(); ++p) {
+    const auto& rs = shares_[p];
+    for (std::size_t t = 0; t < rs.row_blocks.size(); ++t) {
+      const std::size_t i = rs.row_blocks[t];
+      const Share s = dist.share(i, p);
+      std::copy(rs.slices[t].begin(), rs.slices[t].end(),
+                padded.begin() + static_cast<long>(i * b + s.offset));
+    }
+  }
+  return {padded.begin(),
+          padded.begin() + static_cast<long>(dist.logical_n())};
+}
+
+const std::vector<double>& DistributedVector::share(
+    std::size_t rank, std::size_t row_block) const {
+  STTSV_REQUIRE(rank < shares_.size(), "rank out of range");
+  const auto& rs = shares_[rank];
+  const auto it = std::lower_bound(rs.row_blocks.begin(),
+                                   rs.row_blocks.end(), row_block);
+  STTSV_REQUIRE(it != rs.row_blocks.end() && *it == row_block,
+                "rank does not own this row block");
+  return rs.slices[static_cast<std::size_t>(it - rs.row_blocks.begin())];
+}
+
+std::vector<double>& DistributedVector::share(std::size_t rank,
+                                              std::size_t row_block) {
+  return const_cast<std::vector<double>&>(
+      static_cast<const DistributedVector&>(*this).share(rank, row_block));
+}
+
+double DistributedVector::dot(simt::Machine& machine,
+                              const DistributedVector& a,
+                              const DistributedVector& b) {
+  STTSV_REQUIRE(a.dist_ == b.dist_, "distribution mismatch");
+  const std::size_t P = a.shares_.size();
+  STTSV_REQUIRE(machine.num_ranks() == P, "machine rank count mismatch");
+  std::vector<std::vector<double>> partials(P, std::vector<double>(1, 0.0));
+  for (std::size_t p = 0; p < P; ++p) {
+    double local = 0.0;
+    for (std::size_t t = 0; t < a.shares_[p].slices.size(); ++t) {
+      const auto& av = a.shares_[p].slices[t];
+      const auto& bv = b.shares_[p].slices[t];
+      for (std::size_t i = 0; i < av.size(); ++i) local += av[i] * bv[i];
+    }
+    partials[p][0] = local;
+  }
+  return simt::allreduce_sum(machine, partials)[0];
+}
+
+std::pair<double, double> DistributedVector::diff_norms2(
+    simt::Machine& machine, const DistributedVector& a,
+    const DistributedVector& b) {
+  STTSV_REQUIRE(a.dist_ == b.dist_, "distribution mismatch");
+  const std::size_t P = a.shares_.size();
+  std::vector<std::vector<double>> partials(P, std::vector<double>(2, 0.0));
+  for (std::size_t p = 0; p < P; ++p) {
+    double dm = 0.0;
+    double dp = 0.0;
+    for (std::size_t t = 0; t < a.shares_[p].slices.size(); ++t) {
+      const auto& av = a.shares_[p].slices[t];
+      const auto& bv = b.shares_[p].slices[t];
+      for (std::size_t i = 0; i < av.size(); ++i) {
+        dm += (av[i] - bv[i]) * (av[i] - bv[i]);
+        dp += (av[i] + bv[i]) * (av[i] + bv[i]);
+      }
+    }
+    partials[p] = {dm, dp};
+  }
+  const auto sums = simt::allreduce_sum(machine, partials);
+  return {sums[0], sums[1]};
+}
+
+void DistributedVector::scale(double s) {
+  for (auto& rs : shares_) {
+    for (auto& slice : rs.slices) {
+      for (auto& v : slice) v *= s;
+    }
+  }
+}
+
+void DistributedVector::axpy(double alpha, const DistributedVector& other) {
+  STTSV_REQUIRE(dist_ == other.dist_, "distribution mismatch");
+  for (std::size_t p = 0; p < shares_.size(); ++p) {
+    for (std::size_t t = 0; t < shares_[p].slices.size(); ++t) {
+      auto& dst = shares_[p].slices[t];
+      const auto& src = other.shares_[p].slices[t];
+      for (std::size_t i = 0; i < dst.size(); ++i) {
+        dst[i] += alpha * src[i];
+      }
+    }
+  }
+}
+
+DistributedVector parallel_sttsv_dist(
+    simt::Machine& machine, const TetraPartition& part,
+    const tensor::SymTensor3& a, const DistributedVector& x,
+    simt::Transport transport, std::vector<std::uint64_t>* ternary_out) {
+  const VectorDistribution& dist = x.distribution();
+  const std::size_t P = part.num_processors();
+  const std::size_t b = dist.block_length_b();
+  STTSV_REQUIRE(machine.num_ranks() == P,
+                "machine rank count must match partition");
+  STTSV_REQUIRE(a.dim() == dist.logical_n(),
+                "tensor dimension must match distribution");
+
+  // Phase 1: gather full row blocks of x per rank from the shares.
+  std::vector<std::vector<Envelope>> outboxes(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const std::size_t peer : peers_of(part, p)) {
+      Envelope env;
+      env.to = peer;
+      for (const std::size_t i : common_blocks(part, p, peer)) {
+        const auto& slice = x.share(p, i);
+        env.data.insert(env.data.end(), slice.begin(), slice.end());
+      }
+      if (!env.data.empty()) outboxes[p].push_back(std::move(env));
+    }
+  }
+  auto inboxes = machine.exchange(std::move(outboxes), transport);
+
+  std::vector<std::map<std::size_t, std::vector<double>>> x_loc(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const std::size_t i : part.R(p)) {
+      auto& blockvec = x_loc[p][i];
+      blockvec.assign(b, 0.0);
+      const Share s = dist.share(i, p);
+      const auto& own = x.share(p, i);
+      std::copy(own.begin(), own.end(), blockvec.begin() +
+                                            static_cast<long>(s.offset));
+    }
+    for (const Delivery& d : inboxes[p]) {
+      std::size_t cursor = 0;
+      for (const std::size_t i : common_blocks(part, p, d.from)) {
+        const Share s = dist.share(i, d.from);
+        STTSV_CHECK(cursor + s.length <= d.data.size(),
+                    "x delivery shorter than expected");
+        std::copy_n(d.data.data() + cursor, s.length,
+                    x_loc[p][i].data() + s.offset);
+        cursor += s.length;
+      }
+      STTSV_CHECK(cursor == d.data.size(), "x delivery longer than expected");
+    }
+  }
+  inboxes.clear();
+
+  // Phase 2: block kernels.
+  std::vector<std::map<std::size_t, std::vector<double>>> y_loc(P);
+  if (ternary_out != nullptr) ternary_out->assign(P, 0);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const std::size_t i : part.R(p)) y_loc[p][i].assign(b, 0.0);
+    for (const partition::BlockCoord& c : part.owned_blocks(p)) {
+      BlockBuffers buf;
+      buf.x[0] = x_loc[p].at(c.i).data();
+      buf.x[1] = x_loc[p].at(c.j).data();
+      buf.x[2] = x_loc[p].at(c.k).data();
+      buf.y[0] = y_loc[p].at(c.i).data();
+      buf.y[1] = y_loc[p].at(c.j).data();
+      buf.y[2] = y_loc[p].at(c.k).data();
+      const auto mults = apply_block(a, c, b, buf);
+      if (ternary_out != nullptr) (*ternary_out)[p] += mults;
+    }
+    x_loc[p].clear();
+  }
+
+  // Phase 3: exchange receiver shares of the partial y and reduce into a
+  // fresh distributed vector.
+  std::vector<std::vector<Envelope>> y_out(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const std::size_t peer : peers_of(part, p)) {
+      Envelope env;
+      env.to = peer;
+      for (const std::size_t i : common_blocks(part, p, peer)) {
+        const Share s = dist.share(i, peer);
+        const double* base = y_loc[p].at(i).data() + s.offset;
+        env.data.insert(env.data.end(), base, base + s.length);
+      }
+      if (!env.data.empty()) y_out[p].push_back(std::move(env));
+    }
+  }
+  auto y_in = machine.exchange(std::move(y_out), transport);
+
+  DistributedVector y(dist);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const std::size_t i : part.R(p)) {
+      const Share s = dist.share(i, p);
+      auto& own = y.share(p, i);
+      for (std::size_t off = 0; off < s.length; ++off) {
+        own[off] += y_loc[p].at(i)[s.offset + off];
+      }
+    }
+    for (const Delivery& d : y_in[p]) {
+      std::size_t cursor = 0;
+      for (const std::size_t i : common_blocks(part, p, d.from)) {
+        const Share s = dist.share(i, p);
+        STTSV_CHECK(cursor + s.length <= d.data.size(),
+                    "y delivery shorter than expected");
+        auto& own = y.share(p, i);
+        for (std::size_t off = 0; off < s.length; ++off) {
+          own[off] += d.data[cursor + off];
+        }
+        cursor += s.length;
+      }
+      STTSV_CHECK(cursor == d.data.size(), "y delivery longer than expected");
+    }
+  }
+  machine.ledger().verify_conservation();
+  return y;
+}
+
+}  // namespace sttsv::core

@@ -1,0 +1,85 @@
+#include "core/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace sttsv::core {
+
+std::size_t Projections3::union_size() const {
+  std::set<std::size_t> u(i);
+  u.insert(j.begin(), j.end());
+  u.insert(k.begin(), k.end());
+  return u.size();
+}
+
+Projections3 project3(const std::vector<Point3>& points) {
+  Projections3 proj;
+  for (const auto& p : points) {
+    proj.i.insert(p[0]);
+    proj.j.insert(p[1]);
+    proj.k.insert(p[2]);
+  }
+  return proj;
+}
+
+bool loomis_whitney_holds(const std::vector<Point3>& points) {
+  // Dedupe first: the inequality is about sets.
+  std::vector<Point3> v(points);
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  const auto proj = project3(v);
+  const double bound = static_cast<double>(proj.i.size()) *
+                       static_cast<double>(proj.j.size()) *
+                       static_cast<double>(proj.k.size());
+  return static_cast<double>(v.size()) <= bound;
+}
+
+bool symmetric_projection_bound_holds(const std::vector<Point3>& points) {
+  std::vector<Point3> v(points);
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  for (const auto& p : v) {
+    STTSV_REQUIRE(p[0] > p[1] && p[1] > p[2],
+                  "Lemma 4.2 needs strictly decreasing points");
+  }
+  const auto proj = project3(v);
+  const double u = static_cast<double>(proj.union_size());
+  return 6.0 * static_cast<double>(v.size()) <= u * u * u;
+}
+
+std::vector<PointD> expand_symmetric(const std::vector<PointD>& points) {
+  std::set<PointD> out;
+  for (const auto& p : points) {
+    PointD perm(p);
+    std::sort(perm.begin(), perm.end());
+    do {
+      out.insert(perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+  return {out.begin(), out.end()};
+}
+
+bool symmetric_projection_bound_holds_d(const std::vector<PointD>& points) {
+  std::vector<PointD> v(points);
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  if (v.empty()) return true;
+  const std::size_t d = v[0].size();
+  std::set<std::size_t> union_proj;
+  for (const auto& p : v) {
+    STTSV_REQUIRE(p.size() == d, "mixed point dimensions");
+    for (std::size_t t = 1; t < d; ++t) {
+      STTSV_REQUIRE(p[t - 1] > p[t],
+                    "d-dim bound needs strictly decreasing points");
+    }
+    union_proj.insert(p.begin(), p.end());
+  }
+  double fact = 1.0;
+  for (std::size_t t = 2; t <= d; ++t) fact *= static_cast<double>(t);
+  const double u = static_cast<double>(union_proj.size());
+  return fact * static_cast<double>(v.size()) <= std::pow(u, static_cast<double>(d));
+}
+
+}  // namespace sttsv::core

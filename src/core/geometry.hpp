@@ -1,0 +1,47 @@
+#pragma once
+// The geometric inequalities of the paper's Section 4, as executable
+// checks used by property tests:
+//
+//  * Lemma 4.1 (Loomis-Whitney, 3D): |V| <= |φ_i(V)|·|φ_j(V)|·|φ_k(V)|.
+//  * Lemma 4.2 (symmetric extension): for V within the strict region
+//    i > j > k, 6|V| <= |φ_i ∪ φ_j ∪ φ_k|³.
+//  * The order-d generalization: d!·|V| <= |∪_t φ_t(V)|^d for V within
+//    the strictly decreasing region (the bound behind the Section 8
+//    extension of the lower bound).
+
+#include <array>
+#include <cstddef>
+#include <set>
+#include <vector>
+
+namespace sttsv::core {
+
+using Point3 = std::array<std::size_t, 3>;
+using PointD = std::vector<std::size_t>;
+
+/// Axis projections of a 3D point set.
+struct Projections3 {
+  std::set<std::size_t> i, j, k;
+
+  [[nodiscard]] std::size_t union_size() const;
+};
+
+Projections3 project3(const std::vector<Point3>& points);
+
+/// Lemma 4.1 check: |V| <= |φ_i|·|φ_j|·|φ_k| (holds for ANY finite V).
+bool loomis_whitney_holds(const std::vector<Point3>& points);
+
+/// Lemma 4.2 check: 6|V| <= |φ_i ∪ φ_j ∪ φ_k|³; requires every point to
+/// satisfy i > j > k (throws otherwise).
+bool symmetric_projection_bound_holds(const std::vector<Point3>& points);
+
+/// Order-d generalization: d!|V| <= |∪ projections|^d for strictly
+/// decreasing tuples (throws if a point is not strictly decreasing).
+bool symmetric_projection_bound_holds_d(const std::vector<PointD>& points);
+
+/// The V~ expansion from the proof of Lemma 4.2: all d! permutations of
+/// every point. |expand_symmetric(V)| == d!·|V| exactly when the points
+/// are strictly decreasing.
+std::vector<PointD> expand_symmetric(const std::vector<PointD>& points);
+
+}  // namespace sttsv::core

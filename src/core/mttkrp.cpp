@@ -1,0 +1,207 @@
+#include "core/mttkrp.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/block_kernels.hpp"
+#include "core/sttsv_seq.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::core {
+
+namespace {
+
+using partition::Share;
+using partition::TetraPartition;
+using partition::VectorDistribution;
+using simt::Delivery;
+using simt::Envelope;
+
+std::vector<std::size_t> common_blocks(const TetraPartition& part,
+                                       std::size_t p, std::size_t peer) {
+  const auto& a = part.R(p);
+  const auto& b = part.R(peer);
+  std::vector<std::size_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::size_t> peers_of(const TetraPartition& part,
+                                  std::size_t p) {
+  std::vector<std::size_t> peers;
+  for (const std::size_t i : part.R(p)) {
+    for (const std::size_t other : part.Q(i)) {
+      if (other != p) peers.push_back(other);
+    }
+  }
+  std::sort(peers.begin(), peers.end());
+  peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+  return peers;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> symmetric_mttkrp(
+    const tensor::SymTensor3& a,
+    const std::vector<std::vector<double>>& columns) {
+  std::vector<std::vector<double>> out;
+  out.reserve(columns.size());
+  for (const auto& col : columns) {
+    out.push_back(sttsv_packed(a, col));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> parallel_symmetric_mttkrp(
+    simt::Machine& machine, const TetraPartition& part,
+    const VectorDistribution& dist, const tensor::SymTensor3& a,
+    const std::vector<std::vector<double>>& columns,
+    simt::Transport transport) {
+  const std::size_t P = part.num_processors();
+  const std::size_t b = dist.block_length_b();
+  const std::size_t n = dist.logical_n();
+  const std::size_t r = columns.size();
+  STTSV_REQUIRE(machine.num_ranks() == P,
+                "machine rank count must match partition");
+  STTSV_REQUIRE(a.dim() == n, "tensor dimension must match distribution");
+  STTSV_REQUIRE(r >= 1, "need at least one column");
+  for (const auto& col : columns) {
+    STTSV_REQUIRE(col.size() == n, "column length mismatch");
+  }
+
+  // Padded column-major copies.
+  std::vector<std::vector<double>> x_pad(r,
+                                         std::vector<double>(dist.padded_n(),
+                                                             0.0));
+  for (std::size_t l = 0; l < r; ++l) {
+    std::copy(columns[l].begin(), columns[l].end(), x_pad[l].begin());
+  }
+
+  // Phase 1: batched x exchange — for each (pair, common block, column)
+  // the sender's share, columns innermost so unpacking is deterministic.
+  std::vector<std::vector<Envelope>> outboxes(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const std::size_t peer : peers_of(part, p)) {
+      Envelope env;
+      env.to = peer;
+      for (const std::size_t i : common_blocks(part, p, peer)) {
+        const Share s = dist.share(i, p);
+        for (std::size_t l = 0; l < r; ++l) {
+          const double* base = x_pad[l].data() + i * b + s.offset;
+          env.data.insert(env.data.end(), base, base + s.length);
+        }
+      }
+      if (!env.data.empty()) outboxes[p].push_back(std::move(env));
+    }
+  }
+  auto inboxes = machine.exchange(std::move(outboxes), transport);
+
+  // Assemble full local row blocks per column: x_loc[p][i] has r*b words,
+  // column l at offset l*b.
+  std::vector<std::map<std::size_t, std::vector<double>>> x_loc(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const std::size_t i : part.R(p)) {
+      auto& buf = x_loc[p][i];
+      buf.assign(r * b, 0.0);
+      const Share s = dist.share(i, p);
+      for (std::size_t l = 0; l < r; ++l) {
+        std::copy_n(x_pad[l].data() + i * b + s.offset, s.length,
+                    buf.data() + l * b + s.offset);
+      }
+    }
+    for (const Delivery& d : inboxes[p]) {
+      std::size_t cursor = 0;
+      for (const std::size_t i : common_blocks(part, p, d.from)) {
+        const Share s = dist.share(i, d.from);
+        for (std::size_t l = 0; l < r; ++l) {
+          STTSV_CHECK(cursor + s.length <= d.data.size(),
+                      "x delivery shorter than expected");
+          std::copy_n(d.data.data() + cursor, s.length,
+                      x_loc[p][i].data() + l * b + s.offset);
+          cursor += s.length;
+        }
+      }
+      STTSV_CHECK(cursor == d.data.size(), "x delivery longer than expected");
+    }
+  }
+  inboxes.clear();
+
+  // Phase 2: block kernels per column.
+  std::vector<std::map<std::size_t, std::vector<double>>> y_loc(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const std::size_t i : part.R(p)) {
+      y_loc[p][i].assign(r * b, 0.0);
+    }
+    for (const partition::BlockCoord& c : part.owned_blocks(p)) {
+      for (std::size_t l = 0; l < r; ++l) {
+        BlockBuffers buf;
+        buf.x[0] = x_loc[p].at(c.i).data() + l * b;
+        buf.x[1] = x_loc[p].at(c.j).data() + l * b;
+        buf.x[2] = x_loc[p].at(c.k).data() + l * b;
+        buf.y[0] = y_loc[p].at(c.i).data() + l * b;
+        buf.y[1] = y_loc[p].at(c.j).data() + l * b;
+        buf.y[2] = y_loc[p].at(c.k).data() + l * b;
+        (void)apply_block(a, c, b, buf);
+      }
+    }
+    x_loc[p].clear();
+  }
+
+  // Phase 3: batched partial-y exchange and reduction.
+  std::vector<std::vector<Envelope>> y_out(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const std::size_t peer : peers_of(part, p)) {
+      Envelope env;
+      env.to = peer;
+      for (const std::size_t i : common_blocks(part, p, peer)) {
+        const Share s = dist.share(i, peer);
+        for (std::size_t l = 0; l < r; ++l) {
+          const double* base = y_loc[p].at(i).data() + l * b + s.offset;
+          env.data.insert(env.data.end(), base, base + s.length);
+        }
+      }
+      if (!env.data.empty()) y_out[p].push_back(std::move(env));
+    }
+  }
+  auto y_in = machine.exchange(std::move(y_out), transport);
+
+  std::vector<std::vector<double>> y_pad(
+      r, std::vector<double>(dist.padded_n(), 0.0));
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const std::size_t i : part.R(p)) {
+      const Share s = dist.share(i, p);
+      for (std::size_t l = 0; l < r; ++l) {
+        for (std::size_t off = 0; off < s.length; ++off) {
+          y_pad[l][i * b + s.offset + off] +=
+              y_loc[p].at(i)[l * b + s.offset + off];
+        }
+      }
+    }
+    for (const Delivery& d : y_in[p]) {
+      std::size_t cursor = 0;
+      for (const std::size_t i : common_blocks(part, p, d.from)) {
+        const Share s = dist.share(i, p);
+        for (std::size_t l = 0; l < r; ++l) {
+          STTSV_CHECK(cursor + s.length <= d.data.size(),
+                      "y delivery shorter than expected");
+          for (std::size_t off = 0; off < s.length; ++off) {
+            y_pad[l][i * b + s.offset + off] += d.data[cursor + off];
+          }
+          cursor += s.length;
+        }
+      }
+      STTSV_CHECK(cursor == d.data.size(), "y delivery longer than expected");
+    }
+  }
+  machine.ledger().verify_conservation();
+
+  std::vector<std::vector<double>> out(r);
+  for (std::size_t l = 0; l < r; ++l) {
+    out[l].assign(y_pad[l].begin(),
+                  y_pad[l].begin() + static_cast<long>(n));
+  }
+  return out;
+}
+
+}  // namespace sttsv::core

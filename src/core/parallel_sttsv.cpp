@@ -1,0 +1,179 @@
+#include "core/parallel_sttsv.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/block_kernels.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::core {
+
+namespace {
+
+using partition::Share;
+using partition::TetraPartition;
+using partition::VectorDistribution;
+using simt::Delivery;
+using simt::Envelope;
+
+/// The row blocks both p and peer require: R_p ∩ R_peer (ascending).
+/// By the Steiner property two distinct subsets share at most 2 points,
+/// which is why a pair exchanges at most 2 row-block shares (Section 7.2.2).
+std::vector<std::size_t> common_blocks(const TetraPartition& part,
+                                       std::size_t p, std::size_t peer) {
+  const auto& a = part.R(p);
+  const auto& b = part.R(peer);
+  std::vector<std::size_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Peers of p: every other member of Q_i for some i ∈ R_p, ascending.
+std::vector<std::size_t> peers_of(const TetraPartition& part, std::size_t p) {
+  std::vector<std::size_t> peers;
+  for (const std::size_t i : part.R(p)) {
+    for (const std::size_t other : part.Q(i)) {
+      if (other != p) peers.push_back(other);
+    }
+  }
+  std::sort(peers.begin(), peers.end());
+  peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+  return peers;
+}
+
+}  // namespace
+
+ParallelRunResult parallel_sttsv(simt::Machine& machine,
+                                 const TetraPartition& part,
+                                 const VectorDistribution& dist,
+                                 const tensor::SymTensor3& a,
+                                 const std::vector<double>& x,
+                                 simt::Transport transport) {
+  const std::size_t P = part.num_processors();
+  const std::size_t b = dist.block_length_b();
+  const std::size_t n = dist.logical_n();
+  STTSV_REQUIRE(machine.num_ranks() == P,
+                "machine rank count must match partition");
+  STTSV_REQUIRE(a.dim() == n, "tensor dimension must match distribution");
+  STTSV_REQUIRE(x.size() == n, "input vector length mismatch");
+
+  // Padded copy of x: row block i occupies [i*b, (i+1)*b).
+  std::vector<double> x_pad(dist.padded_n(), 0.0);
+  std::copy(x.begin(), x.end(), x_pad.begin());
+
+  // ---- Phase 1: exchange x shares (Algorithm 5 lines 10-21). ----------
+  // Pack: for each peer, the shares of common row blocks in (row block,
+  // sender-share) order — receivers unpack with the same deterministic walk.
+  std::vector<std::vector<Envelope>> outboxes(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const std::size_t peer : peers_of(part, p)) {
+      Envelope env;
+      env.to = peer;
+      for (const std::size_t i : common_blocks(part, p, peer)) {
+        const Share s = dist.share(i, p);
+        const double* base = x_pad.data() + i * b + s.offset;
+        env.data.insert(env.data.end(), base, base + s.length);
+      }
+      if (!env.data.empty()) outboxes[p].push_back(std::move(env));
+    }
+  }
+  auto inboxes = machine.exchange(std::move(outboxes), transport);
+
+  // Unpack into full local row blocks x_loc[p][i] (length b each).
+  // Start from the rank's own share, then place every delivery.
+  std::vector<std::map<std::size_t, std::vector<double>>> x_loc(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const std::size_t i : part.R(p)) {
+      auto& blockvec = x_loc[p][i];
+      blockvec.assign(b, 0.0);
+      const Share s = dist.share(i, p);
+      std::copy_n(x_pad.data() + i * b + s.offset, s.length,
+                  blockvec.data() + s.offset);
+    }
+    for (const Delivery& d : inboxes[p]) {
+      std::size_t cursor = 0;
+      for (const std::size_t i : common_blocks(part, p, d.from)) {
+        const Share s = dist.share(i, d.from);
+        STTSV_CHECK(cursor + s.length <= d.data.size(),
+                    "x delivery shorter than expected");
+        std::copy_n(d.data.data() + cursor, s.length,
+                    x_loc[p][i].data() + s.offset);
+        cursor += s.length;
+      }
+      STTSV_CHECK(cursor == d.data.size(), "x delivery longer than expected");
+    }
+  }
+  inboxes.clear();
+
+  // ---- Phase 2: local block kernels (Algorithm 5 lines 23-36). --------
+  std::vector<std::map<std::size_t, std::vector<double>>> y_loc(P);
+  ParallelRunResult result;
+  result.ternary_mults.assign(P, 0);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const std::size_t i : part.R(p)) {
+      y_loc[p][i].assign(b, 0.0);
+    }
+    for (const partition::BlockCoord& c : part.owned_blocks(p)) {
+      BlockBuffers buf;
+      buf.x[0] = x_loc[p].at(c.i).data();
+      buf.x[1] = x_loc[p].at(c.j).data();
+      buf.x[2] = x_loc[p].at(c.k).data();
+      buf.y[0] = y_loc[p].at(c.i).data();
+      buf.y[1] = y_loc[p].at(c.j).data();
+      buf.y[2] = y_loc[p].at(c.k).data();
+      result.ternary_mults[p] += apply_block(a, c, b, buf);
+    }
+    x_loc[p].clear();  // frees the gathered inputs early
+  }
+
+  // ---- Phase 3: exchange + reduce partial y (lines 38-50). ------------
+  std::vector<std::vector<Envelope>> y_out(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const std::size_t peer : peers_of(part, p)) {
+      Envelope env;
+      env.to = peer;
+      // Send the *receiver's* share of each common row block.
+      for (const std::size_t i : common_blocks(part, p, peer)) {
+        const Share s = dist.share(i, peer);
+        const double* base = y_loc[p].at(i).data() + s.offset;
+        env.data.insert(env.data.end(), base, base + s.length);
+      }
+      if (!env.data.empty()) y_out[p].push_back(std::move(env));
+    }
+  }
+  auto y_in = machine.exchange(std::move(y_out), transport);
+
+  // Own share = local partial + sum of received partials.
+  std::vector<double> y_pad(dist.padded_n(), 0.0);
+  for (std::size_t p = 0; p < P; ++p) {
+    // Seed with this rank's local partials on its own shares.
+    for (const std::size_t i : part.R(p)) {
+      const Share s = dist.share(i, p);
+      for (std::size_t off = 0; off < s.length; ++off) {
+        y_pad[i * b + s.offset + off] += y_loc[p].at(i)[s.offset + off];
+      }
+    }
+    for (const Delivery& d : y_in[p]) {
+      std::size_t cursor = 0;
+      for (const std::size_t i : common_blocks(part, p, d.from)) {
+        const Share s = dist.share(i, p);
+        STTSV_CHECK(cursor + s.length <= d.data.size(),
+                    "y delivery shorter than expected");
+        for (std::size_t off = 0; off < s.length; ++off) {
+          y_pad[i * b + s.offset + off] += d.data[cursor + off];
+        }
+        cursor += s.length;
+      }
+      STTSV_CHECK(cursor == d.data.size(), "y delivery longer than expected");
+    }
+  }
+
+  machine.ledger().verify_conservation();
+  result.y.assign(y_pad.begin(), y_pad.begin() + static_cast<long>(n));
+  result.max_words_sent = machine.ledger().max_words_sent();
+  result.max_words_received = machine.ledger().max_words_received();
+  return result;
+}
+
+}  // namespace sttsv::core

@@ -1,0 +1,44 @@
+#pragma once
+// Parallel STTSV (paper Algorithm 5) on the simulated machine.
+//
+// Data distribution (Section 6.1): processor p owns the extended
+// tetrahedral block A[T_p] = TB₃(R_p) ∪ N_p ∪ D_p of the tensor and the
+// share x[i]^(p) of each row block i ∈ R_p. The run is the paper's three
+// phases: All-to-All (or scheduled point-to-point) exchange of x shares,
+// local block kernels, exchange + reduction of partial y shares.
+//
+// Only vector data moves; the tensor is never communicated (owner-compute).
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/tetra_partition.hpp"
+#include "partition/vector_distribution.hpp"
+#include "simt/machine.hpp"
+#include "tensor/sym_tensor.hpp"
+
+namespace sttsv::core {
+
+struct ParallelRunResult {
+  /// Assembled output, logical length n (padding dropped).
+  std::vector<double> y;
+  /// Ternary multiplications per rank (Section 7.1 load balance).
+  std::vector<std::uint64_t> ternary_mults;
+  /// Convenience: max over ranks of words sent during this run
+  /// (the quantity bounded by Theorem 5.2). Also available via the ledger.
+  std::uint64_t max_words_sent = 0;
+  std::uint64_t max_words_received = 0;
+};
+
+/// Runs y = A ×₂ x ×₃ x on `machine` using the given partition and vector
+/// distribution. Requirements: machine.num_ranks() == part.num_processors(),
+/// dist built over the same partition, x.size() == dist.logical_n(),
+/// a.dim() == dist.logical_n().
+ParallelRunResult parallel_sttsv(simt::Machine& machine,
+                                 const partition::TetraPartition& part,
+                                 const partition::VectorDistribution& dist,
+                                 const tensor::SymTensor3& a,
+                                 const std::vector<double>& x,
+                                 simt::Transport transport);
+
+}  // namespace sttsv::core

@@ -1,0 +1,171 @@
+#include "core/sttsv_seq.hpp"
+
+#include "support/check.hpp"
+
+namespace sttsv::core {
+
+std::vector<double> sttsv_naive(const tensor::Dense3& a,
+                                const std::vector<double>& x,
+                                OpCount* ops) {
+  const std::size_t n = a.dim();
+  STTSV_REQUIRE(x.size() == n, "vector length must match tensor dimension");
+  std::vector<double> y(n, 0.0);
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        acc += a(i, j, k) * x[j] * x[k];
+        ++count;
+      }
+    }
+    y[i] = acc;
+  }
+  if (ops != nullptr) ops->ternary_mults += count;
+  return y;
+}
+
+std::vector<double> sttsv_symmetric(const tensor::SymTensor3& a,
+                                    const std::vector<double>& x,
+                                    OpCount* ops) {
+  const std::size_t n = a.dim();
+  STTSV_REQUIRE(x.size() == n, "vector length must match tensor dimension");
+  std::vector<double> y(n, 0.0);
+  std::uint64_t count = 0;
+  // Algorithm 4: every lower-tetra entry updates all outputs it touches.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      for (std::size_t k = 0; k <= j; ++k) {
+        const double v = a(i, j, k);
+        if (i != j && j != k) {
+          y[i] += 2.0 * v * x[j] * x[k];
+          y[j] += 2.0 * v * x[i] * x[k];
+          y[k] += 2.0 * v * x[i] * x[j];
+          count += 3;
+        } else if (i == j && j != k) {
+          y[i] += 2.0 * v * x[j] * x[k];
+          y[k] += v * x[i] * x[j];
+          count += 2;
+        } else if (i != j && j == k) {
+          y[i] += v * x[j] * x[k];
+          y[j] += 2.0 * v * x[i] * x[k];
+          count += 2;
+        } else {
+          y[i] += v * x[j] * x[k];
+          count += 1;
+        }
+      }
+    }
+  }
+  if (ops != nullptr) ops->ternary_mults += count;
+  return y;
+}
+
+std::vector<double> sttsv_packed(const tensor::SymTensor3& a,
+                                 const std::vector<double>& x,
+                                 OpCount* ops) {
+  const std::size_t n = a.dim();
+  STTSV_REQUIRE(x.size() == n, "vector length must match tensor dimension");
+  std::vector<double> y(n, 0.0);
+  std::uint64_t count = 0;
+  const double* data = a.data();
+  // Linear walk of packed storage; (i, j, k) recovered incrementally in
+  // the same i >= j >= k order that tetra_index enumerates.
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = x[i];
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double xj = x[j];
+      const double xi_xj = xi * xj;
+      for (std::size_t k = 0; k <= j; ++k, ++idx) {
+        const double v = data[idx];
+        const double xk = x[k];
+        if (i != j && j != k) {
+          y[i] += 2.0 * v * xj * xk;
+          y[j] += 2.0 * v * xi * xk;
+          y[k] += 2.0 * v * xi_xj;
+          count += 3;
+        } else if (i == j && j != k) {
+          y[i] += 2.0 * v * xj * xk;
+          y[k] += v * xi_xj;
+          count += 2;
+        } else if (i != j && j == k) {
+          y[i] += v * xj * xk;
+          y[j] += 2.0 * v * xi * xk;
+          count += 2;
+        } else {
+          y[i] += v * xj * xk;
+          count += 1;
+        }
+      }
+    }
+  }
+  STTSV_CHECK(idx == a.packed_size(), "packed walk out of sync");
+  if (ops != nullptr) ops->ternary_mults += count;
+  return y;
+}
+
+std::vector<double> sttsv_packed_parallel(const tensor::SymTensor3& a,
+                                          const std::vector<double>& x,
+                                          OpCount* ops) {
+#ifndef STTSV_WITH_OPENMP
+  return sttsv_packed(a, x, ops);
+#else
+  const std::size_t n = a.dim();
+  STTSV_REQUIRE(x.size() == n, "vector length must match tensor dimension");
+  const double* data = a.data();
+  std::vector<double> y(n, 0.0);
+  std::uint64_t count = 0;
+
+#pragma omp parallel reduction(+ : count)
+  {
+    std::vector<double> y_local(n, 0.0);
+    // Dynamic schedule: row i holds (i+1)(i+2)/2 entries, so work grows
+    // quadratically with i and static splitting would imbalance badly.
+#pragma omp for schedule(dynamic, 4) nowait
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xi = x[i];
+      std::size_t idx = tensor::tetra_index(i, 0, 0);
+      for (std::size_t j = 0; j <= i; ++j) {
+        const double xj = x[j];
+        const double xi_xj = xi * xj;
+        for (std::size_t k = 0; k <= j; ++k, ++idx) {
+          const double v = data[idx];
+          const double xk = x[k];
+          if (i != j && j != k) {
+            y_local[i] += 2.0 * v * xj * xk;
+            y_local[j] += 2.0 * v * xi * xk;
+            y_local[k] += 2.0 * v * xi_xj;
+            count += 3;
+          } else if (i == j && j != k) {
+            y_local[i] += 2.0 * v * xj * xk;
+            y_local[k] += v * xi_xj;
+            count += 2;
+          } else if (i != j && j == k) {
+            y_local[i] += v * xj * xk;
+            y_local[j] += 2.0 * v * xi * xk;
+            count += 2;
+          } else {
+            y_local[i] += v * xj * xk;
+            count += 1;
+          }
+        }
+      }
+    }
+#pragma omp critical
+    for (std::size_t i = 0; i < n; ++i) y[i] += y_local[i];
+  }
+  if (ops != nullptr) ops->ternary_mults += count;
+  return y;
+#endif
+}
+
+double full_contraction(const tensor::SymTensor3& a,
+                        const std::vector<double>& x) {
+  const std::vector<double> y = sttsv_packed(a, x);
+  double lambda = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) lambda += y[i] * x[i];
+  return lambda;
+}
+
+}  // namespace sttsv::core

@@ -1,0 +1,127 @@
+#include "core/sttv_d.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace sttsv::core {
+
+namespace {
+
+std::uint64_t factorial(std::size_t k) {
+  std::uint64_t f = 1;
+  for (std::size_t t = 2; t <= k; ++t) f *= t;
+  return f;
+}
+
+}  // namespace
+
+std::vector<double> sttv_naive_d(const tensor::SymTensorD& a,
+                                 const std::vector<double>& x,
+                                 OpCountD* ops) {
+  const std::size_t n = a.dim();
+  const std::size_t d = a.order();
+  STTSV_REQUIRE(x.size() == n, "vector length must match tensor dimension");
+  std::vector<double> y(n, 0.0);
+  std::uint64_t count = 0;
+
+  // Odometer over all (j_2 .. j_d) in [0, n)^{d-1} for each output i.
+  std::vector<std::size_t> index(d, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    index.assign(d, 0);
+    index[0] = i;
+    double acc = 0.0;
+    while (true) {
+      double prod = a(index);
+      for (std::size_t t = 1; t < d; ++t) prod *= x[index[t]];
+      acc += prod;
+      ++count;
+      // Advance the (d-1)-digit base-n odometer in positions 1..d-1.
+      std::size_t t = d;
+      bool done = true;
+      while (t > 1) {
+        --t;
+        if (index[t] + 1 < n) {
+          ++index[t];
+          for (std::size_t u = t + 1; u < d; ++u) index[u] = 0;
+          done = false;
+          break;
+        }
+      }
+      if (done) break;
+      if (d == 1) break;
+    }
+    y[i] = acc;
+  }
+  if (ops != nullptr) ops->dary_mults += count;
+  return y;
+}
+
+std::vector<double> sttv_symmetric_d(const tensor::SymTensorD& a,
+                                     const std::vector<double>& x,
+                                     OpCountD* ops) {
+  const std::size_t n = a.dim();
+  const std::size_t d = a.order();
+  STTSV_REQUIRE(x.size() == n, "vector length must match tensor dimension");
+  std::vector<double> y(n, 0.0);
+  std::uint64_t count = 0;
+  const std::uint64_t fact_dm1 = factorial(d - 1);
+
+  std::size_t packed = 0;
+  tensor::for_each_sorted_index(
+      n, d, [&](const std::vector<std::size_t>& idx) {
+        const double v = a.packed(packed++);
+        // Walk the distinct values of the sorted tuple; for value u with
+        // multiplicity m_u, removing one copy leaves a multiset whose
+        // distinct permutation count is (d-1)! / ((m_u - 1)! Π_{w≠u} m_w!).
+        // Precompute Π of all multiplicities' factorials once.
+        std::uint64_t denom_all = 1;
+        std::size_t t = 0;
+        while (t < d) {
+          std::size_t run = 1;
+          while (t + run < d && idx[t + run] == idx[t]) ++run;
+          denom_all *= factorial(run);
+          t += run;
+        }
+        // Product of x over the whole tuple (divide one factor out per
+        // output — guard x[u] == 0 by recomputing the partial product).
+        t = 0;
+        while (t < d) {
+          std::size_t run = 1;
+          while (t + run < d && idx[t + run] == idx[t]) ++run;
+          const std::size_t u = idx[t];
+          // coefficient = (d-1)! * m_u / Π m_w!  (removing one copy of u
+          // multiplies the denominator by m_u / m_u! ... derived:
+          // (d-1)! / ((m_u-1)! Π_{w≠u} m_w!) = (d-1)! m_u / Π m_w!).
+          const double coeff =
+              static_cast<double>(fact_dm1 * run) /
+              static_cast<double>(denom_all);
+          double prod = 1.0;
+          for (std::size_t s = 0; s < d; ++s) {
+            if (s == t) continue;  // drop ONE copy of u (position t)
+            prod *= x[idx[s]];
+          }
+          y[u] += coeff * v * prod;
+          ++count;
+          t += run;
+        }
+      });
+  STTSV_CHECK(packed == a.packed_size(), "packed walk out of sync");
+  if (ops != nullptr) ops->dary_mults += count;
+  return y;
+}
+
+std::uint64_t symmetric_dary_mults(std::size_t n, std::size_t order) {
+  std::uint64_t count = 0;
+  tensor::for_each_sorted_index(
+      n, order, [&](const std::vector<std::size_t>& idx) {
+        std::size_t distinct = 1;
+        for (std::size_t t = 1; t < idx.size(); ++t) {
+          if (idx[t] != idx[t - 1]) ++distinct;
+        }
+        count += distinct;
+      });
+  return count;
+}
+
+}  // namespace sttsv::core

@@ -1,0 +1,36 @@
+#pragma once
+// Order-d STTSV (paper Section 8): y = A ×₂ x ×₃ x ··· ×_d x for a fully
+// symmetric order-d tensor, i.e. y_i = Σ_{j_2..j_d} a_{i j_2 .. j_d} Π x.
+//
+//  * sttv_naive_d     — all n^d d-ary multiplications (ground truth).
+//  * sttv_symmetric_d — one pass over the C(n+d-1, d) packed entries;
+//    every stored entry updates each distinct index it contains, weighted
+//    by the number of distinct permutations of the remaining multiset
+//    (the d-dimensional generalization of Algorithm 4's 1/2/3-way cases).
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/sym_tensor_d.hpp"
+
+namespace sttsv::core {
+
+struct OpCountD {
+  /// d-ary multiplications, generalizing the paper's ternary count.
+  std::uint64_t dary_mults = 0;
+};
+
+std::vector<double> sttv_naive_d(const tensor::SymTensorD& a,
+                                 const std::vector<double>& x,
+                                 OpCountD* ops = nullptr);
+
+std::vector<double> sttv_symmetric_d(const tensor::SymTensorD& a,
+                                     const std::vector<double>& x,
+                                     OpCountD* ops = nullptr);
+
+/// The symmetric algorithm's d-ary multiplication count in closed form:
+/// Σ over sorted tuples of (#distinct values in the tuple). For d = 3
+/// this is the paper's n²(n+1)/2.
+std::uint64_t symmetric_dary_mults(std::size_t n, std::size_t order);
+
+}  // namespace sttsv::core

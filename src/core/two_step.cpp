@@ -1,0 +1,73 @@
+#include "core/two_step.hpp"
+
+#include "support/check.hpp"
+#include "tensor/sym_tensor.hpp"
+
+namespace sttsv::core {
+
+std::vector<double> ttv_mode2(const tensor::SymTensor3& a,
+                              const std::vector<double>& x,
+                              TwoStepCount* ops) {
+  const std::size_t n = a.dim();
+  STTSV_REQUIRE(x.size() == n, "vector length must match tensor dimension");
+  std::vector<double> m(n * n, 0.0);
+  std::uint64_t count = 0;
+
+  // Walk the packed lower tetrahedron once; each stored entry a_{ijk}
+  // contributes to M at every (row, col) pair obtainable by choosing the
+  // contracted (mode-2) index among {i, j, k}'s permutations:
+  //   M[α][γ] += a · x[β]  for every distinct permutation (α, β, γ).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      for (std::size_t k = 0; k <= j; ++k) {
+        const double v = a(i, j, k);
+        if (i != j && j != k) {
+          // 6 distinct permutations.
+          m[i * n + j] += v * x[k];
+          m[j * n + i] += v * x[k];
+          m[i * n + k] += v * x[j];
+          m[k * n + i] += v * x[j];
+          m[j * n + k] += v * x[i];
+          m[k * n + j] += v * x[i];
+          count += 6;
+        } else if (i == j && j != k) {
+          // Distinct permutations of (i, i, k) as (row, contracted, col):
+          m[i * n + k] += v * x[i];  // (i,i,k)
+          m[i * n + i] += v * x[k];  // (i,k,i)
+          m[k * n + i] += v * x[i];  // (k,i,i)
+          count += 3;
+        } else if (i != j && j == k) {
+          // Permutations of (i, k, k): (i,k,k),(k,i,k),(k,k,i).
+          m[i * n + k] += v * x[k];  // (i,k,k)
+          m[k * n + k] += v * x[i];  // (k,i,k)
+          m[k * n + i] += v * x[k];  // (k,k,i)
+          count += 3;
+        } else {
+          m[i * n + i] += v * x[i];
+          count += 1;
+        }
+      }
+    }
+  }
+  if (ops != nullptr) ops->step1_ops += count;
+  return m;
+}
+
+std::vector<double> sttsv_two_step(const tensor::SymTensor3& a,
+                                   const std::vector<double>& x,
+                                   TwoStepCount* ops) {
+  const std::size_t n = a.dim();
+  const std::vector<double> m = ttv_mode2(a, x, ops);
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      acc += m[i * n + k] * x[k];
+    }
+    y[i] = acc;
+  }
+  if (ops != nullptr) ops->step2_ops += static_cast<std::uint64_t>(n) * n;
+  return y;
+}
+
+}  // namespace sttsv::core

@@ -1,0 +1,38 @@
+#pragma once
+// The "sequence" approach discussed in the paper's Section 8: compute
+// STTSV as two successive multiplies,
+//   M = A ×₂ x   (an n×n symmetric matrix),   y = M·x,
+// reusing the partial products M across the two steps. This costs
+// ~2n³ + 2n² elementary operations — about twice the symmetric
+// Algorithm 4 — but is the natural building block for memory-limited or
+// matrix-library-based implementations, and the paper flags its parallel
+// communication (Ω(n) for P <= n) as future work. We provide it as an
+// ablation baseline.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/sym_tensor.hpp"
+
+namespace sttsv::core {
+
+struct TwoStepCount {
+  /// Elementary multiply-adds in each step (Section 8: 2n³ + 2n² total
+  /// elementary arithmetic operations).
+  std::uint64_t step1_ops = 0;
+  std::uint64_t step2_ops = 0;
+};
+
+/// y = (A ×₂ x) · x via the explicit intermediate matrix.
+std::vector<double> sttsv_two_step(const tensor::SymTensor3& a,
+                                   const std::vector<double>& x,
+                                   TwoStepCount* ops = nullptr);
+
+/// The intermediate M = A ×₂ x as a dense symmetric matrix in row-major
+/// order (M[i*n+k]); exposed for tests and for callers who reuse M
+/// (e.g. several right-hand sides).
+std::vector<double> ttv_mode2(const tensor::SymTensor3& a,
+                              const std::vector<double>& x,
+                              TwoStepCount* ops = nullptr);
+
+}  // namespace sttsv::core

@@ -1,0 +1,154 @@
+#include "gf/field_table.hpp"
+
+#include <algorithm>
+
+#include "gf/primes.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::gf {
+
+namespace {
+
+/// Packs polynomial coefficients (mod p) into an integer, base p.
+std::uint64_t pack(const Poly& f, std::uint64_t p) {
+  std::uint64_t value = 0;
+  for (std::size_t i = f.size(); i-- > 0;) {
+    value = value * p + f[i];
+  }
+  return value;
+}
+
+}  // namespace
+
+FieldTable FieldTable::make(std::uint64_t p, unsigned k) {
+  STTSV_REQUIRE(k >= 1, "field degree must be >= 1");
+  const PrimeField F(p);
+  Poly mod = find_primitive_poly(F, k);
+  return FieldTable(p, k, std::move(mod));
+}
+
+FieldTable FieldTable::make_order(std::uint64_t q) {
+  std::uint64_t p = 0;
+  unsigned k = 0;
+  STTSV_REQUIRE(is_prime_power(q, p, k), "field order must be a prime power");
+  return make(p, k);
+}
+
+FieldTable::FieldTable(std::uint64_t p, unsigned k, Poly mod)
+    : base_(p), k_(k), q_(checked_pow(p, k)), mod_(std::move(mod)) {
+  // Keep tables to a sane size: GF(q^2) for q <= 127 is the practical need.
+  STTSV_REQUIRE(q_ <= (1ULL << 24), "field too large for table arithmetic");
+  exp_.assign(q_ - 1, 0);
+  log_.assign(q_, 0);
+
+  // Walk powers of x, reducing modulo the primitive polynomial.
+  Poly power{1};
+  for (std::uint64_t i = 0; i < q_ - 1; ++i) {
+    const std::uint64_t packed = pack(power, p);
+    exp_[i] = packed;
+    log_[packed] = i;
+    power = poly_mod(base_, poly_mul(base_, power, Poly{0, 1}), mod_);
+  }
+  STTSV_CHECK(exp_[0] == 1, "x^0 must pack to 1");
+}
+
+std::uint64_t FieldTable::add(std::uint64_t a, std::uint64_t b) const {
+  STTSV_DCHECK(a < q_ && b < q_, "operands out of range");
+  const std::uint64_t p = base_.modulus();
+  if (p == 2) return a ^ b;
+  std::uint64_t out = 0;
+  std::uint64_t mult = 1;
+  while (a > 0 || b > 0) {
+    const std::uint64_t da = a % p;
+    const std::uint64_t db = b % p;
+    out += base_.add(da, db) * mult;
+    a /= p;
+    b /= p;
+    mult *= p;
+  }
+  return out;
+}
+
+std::uint64_t FieldTable::neg(std::uint64_t a) const {
+  STTSV_DCHECK(a < q_, "operand out of range");
+  const std::uint64_t p = base_.modulus();
+  if (p == 2) return a;
+  std::uint64_t out = 0;
+  std::uint64_t mult = 1;
+  while (a > 0) {
+    out += base_.neg(a % p) * mult;
+    a /= p;
+    mult *= p;
+  }
+  return out;
+}
+
+std::uint64_t FieldTable::sub(std::uint64_t a, std::uint64_t b) const {
+  return add(a, neg(b));
+}
+
+std::uint64_t FieldTable::mul(std::uint64_t a, std::uint64_t b) const {
+  STTSV_DCHECK(a < q_ && b < q_, "operands out of range");
+  if (a == 0 || b == 0) return 0;
+  const std::uint64_t e = (log_[a] + log_[b]) % (q_ - 1);
+  return exp_[e];
+}
+
+std::uint64_t FieldTable::inv(std::uint64_t a) const {
+  STTSV_REQUIRE(a != 0, "inverse of zero");
+  STTSV_DCHECK(a < q_, "operand out of range");
+  const std::uint64_t e = (q_ - 1 - log_[a]) % (q_ - 1);
+  return exp_[e];
+}
+
+std::uint64_t FieldTable::div(std::uint64_t a, std::uint64_t b) const {
+  return mul(a, inv(b));
+}
+
+std::uint64_t FieldTable::pow(std::uint64_t a, std::uint64_t e) const {
+  STTSV_DCHECK(a < q_, "operand out of range");
+  if (a == 0) return e == 0 ? 1 : 0;
+  const std::uint64_t exp_index = static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(log_[a]) * (e % (q_ - 1))) % (q_ - 1));
+  return exp_[exp_index];
+}
+
+std::uint64_t FieldTable::frobenius(std::uint64_t a) const {
+  return pow(a, base_.modulus());
+}
+
+std::uint64_t FieldTable::from_base(std::uint64_t c) const {
+  STTSV_REQUIRE(c < base_.modulus(), "scalar out of base field range");
+  return c;
+}
+
+std::vector<std::uint64_t> FieldTable::subfield(std::uint64_t sub) const {
+  std::uint64_t p = 0;
+  unsigned e = 0;
+  STTSV_REQUIRE(is_prime_power(sub, p, e) && p == base_.modulus() &&
+                    k_ % e == 0,
+                "subfield order must be p^e with e dividing k");
+  std::vector<std::uint64_t> elems;
+  elems.reserve(sub);
+  elems.push_back(0);
+  // Nonzero subfield elements are the (q-1)/(sub-1)-th powers:
+  // x^(i * step) for i = 0..sub-2.
+  const std::uint64_t step = (q_ - 1) / (sub - 1);
+  for (std::uint64_t i = 0; i < sub - 1; ++i) {
+    elems.push_back(exp_[i * step]);
+  }
+  std::sort(elems.begin(), elems.end());
+  STTSV_CHECK(elems.size() == sub, "subfield size mismatch");
+  // Sanity: closed under the defining identity a^sub == a.
+  for (const auto a : elems) {
+    STTSV_CHECK(pow(a, sub) == a, "subfield element fails a^sub == a");
+  }
+  return elems;
+}
+
+std::uint64_t FieldTable::log(std::uint64_t a) const {
+  STTSV_REQUIRE(a != 0 && a < q_, "log of zero or out-of-range element");
+  return log_[a];
+}
+
+}  // namespace sttsv::gf

@@ -1,0 +1,74 @@
+#pragma once
+// GF(p^k) with table-based arithmetic.
+//
+// Elements are packed integers 0..q-1: the base-p digits of the integer are
+// the coefficients of the residue polynomial (low digit = constant term).
+// Multiplication/inversion go through discrete exp/log tables of the
+// primitive element x, so they are O(1); addition is digitwise mod p
+// (a single XOR when p == 2).
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/prime_field.hpp"
+
+namespace sttsv::gf {
+
+class FieldTable {
+ public:
+  /// Builds GF(p^k) with the deterministic primitive polynomial of
+  /// find_primitive_poly, so packed element values are stable across runs.
+  static FieldTable make(std::uint64_t p, unsigned k);
+
+  /// Builds GF(q) for a prime power q.
+  static FieldTable make_order(std::uint64_t q);
+
+  [[nodiscard]] std::uint64_t order() const { return q_; }
+  [[nodiscard]] std::uint64_t characteristic() const { return base_.modulus(); }
+  [[nodiscard]] unsigned degree() const { return k_; }
+
+  [[nodiscard]] std::uint64_t zero() const { return 0; }
+  [[nodiscard]] std::uint64_t one() const { return 1; }
+  /// The primitive element x (a multiplicative generator). For GF(2) the
+  /// unit group is trivial and the generator is 1.
+  [[nodiscard]] std::uint64_t generator() const {
+    return exp_[1 % (q_ - 1)];
+  }
+
+  [[nodiscard]] std::uint64_t add(std::uint64_t a, std::uint64_t b) const;
+  [[nodiscard]] std::uint64_t sub(std::uint64_t a, std::uint64_t b) const;
+  [[nodiscard]] std::uint64_t neg(std::uint64_t a) const;
+  [[nodiscard]] std::uint64_t mul(std::uint64_t a, std::uint64_t b) const;
+  [[nodiscard]] std::uint64_t inv(std::uint64_t a) const;
+  [[nodiscard]] std::uint64_t div(std::uint64_t a, std::uint64_t b) const;
+  [[nodiscard]] std::uint64_t pow(std::uint64_t a, std::uint64_t e) const;
+
+  /// Frobenius p-power map a -> a^p.
+  [[nodiscard]] std::uint64_t frobenius(std::uint64_t a) const;
+
+  /// Embeds a GF(p) scalar c (0 <= c < p) as a field element.
+  [[nodiscard]] std::uint64_t from_base(std::uint64_t c) const;
+
+  /// The unique subfield of order sub = p^e (e | k), as sorted packed
+  /// elements: exactly the solutions of a^sub == a. This is how the
+  /// spherical Steiner construction finds the subline F_q inside F_{q^2}.
+  [[nodiscard]] std::vector<std::uint64_t> subfield(std::uint64_t sub) const;
+
+  /// discrete log of a != 0 w.r.t. the primitive element.
+  [[nodiscard]] std::uint64_t log(std::uint64_t a) const;
+
+  /// The defining primitive polynomial (monic, degree k).
+  [[nodiscard]] const Poly& modulus_poly() const { return mod_; }
+
+ private:
+  FieldTable(std::uint64_t p, unsigned k, Poly mod);
+
+  PrimeField base_;
+  unsigned k_;
+  std::uint64_t q_;
+  Poly mod_;
+  std::vector<std::uint64_t> exp_;  // exp_[i] = x^i packed, i in [0, q-1)
+  std::vector<std::uint64_t> log_;  // log_[a] for a != 0; log_[0] unused
+};
+
+}  // namespace sttsv::gf

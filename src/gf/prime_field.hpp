@@ -1,0 +1,61 @@
+#pragma once
+// Arithmetic in GF(p) for prime p, plus dense polynomials over GF(p).
+//
+// The polynomial layer is only used at field-construction time (finding a
+// primitive polynomial for GF(p^k)), so clarity is preferred over speed.
+
+#include <cstdint>
+#include <vector>
+
+namespace sttsv::gf {
+
+/// The prime field GF(p). Elements are canonical residues 0..p-1.
+class PrimeField {
+ public:
+  explicit PrimeField(std::uint64_t p);
+
+  [[nodiscard]] std::uint64_t modulus() const { return p_; }
+
+  [[nodiscard]] std::uint64_t add(std::uint64_t a, std::uint64_t b) const;
+  [[nodiscard]] std::uint64_t sub(std::uint64_t a, std::uint64_t b) const;
+  [[nodiscard]] std::uint64_t neg(std::uint64_t a) const;
+  [[nodiscard]] std::uint64_t mul(std::uint64_t a, std::uint64_t b) const;
+  [[nodiscard]] std::uint64_t pow(std::uint64_t a, std::uint64_t e) const;
+  /// Multiplicative inverse of a != 0 (extended Euclid).
+  [[nodiscard]] std::uint64_t inv(std::uint64_t a) const;
+
+ private:
+  std::uint64_t p_;
+};
+
+/// Dense polynomial over GF(p); coefficients low-degree first, normalized
+/// so the leading coefficient is nonzero (the zero polynomial is empty).
+using Poly = std::vector<std::uint64_t>;
+
+/// Drops trailing zero coefficients.
+Poly poly_trim(Poly f);
+
+/// Degree; the zero polynomial has degree -1 by convention here (-1 as int).
+int poly_degree(const Poly& f);
+
+Poly poly_add(const PrimeField& F, const Poly& a, const Poly& b);
+Poly poly_mul(const PrimeField& F, const Poly& a, const Poly& b);
+/// Remainder of a modulo monic-or-not divisor m (m nonzero).
+Poly poly_mod(const PrimeField& F, Poly a, const Poly& m);
+/// (base^e) mod m.
+Poly poly_powmod(const PrimeField& F, Poly base, std::uint64_t e,
+                 const Poly& m);
+Poly poly_gcd(const PrimeField& F, Poly a, Poly b);
+
+/// Rabin's irreducibility test for monic f of degree >= 1 over GF(p).
+bool poly_is_irreducible(const PrimeField& F, const Poly& f);
+
+/// True if f is irreducible AND x generates the multiplicative group of
+/// GF(p)[x]/(f), i.e. f is a primitive polynomial.
+bool poly_is_primitive(const PrimeField& F, const Poly& f);
+
+/// Finds the lexicographically-least monic primitive polynomial of the
+/// given degree over GF(p). Deterministic, so field layouts are stable.
+Poly find_primitive_poly(const PrimeField& F, unsigned degree);
+
+}  // namespace sttsv::gf

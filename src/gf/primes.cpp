@@ -1,0 +1,68 @@
+#include "gf/primes.hpp"
+
+#include "support/check.hpp"
+
+namespace sttsv::gf {
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  if (n % 2 == 0) return n == 2;
+  for (std::uint64_t d = 3; d * d <= n; d += 2) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> prime_factors(std::uint64_t n) {
+  STTSV_REQUIRE(n >= 2, "prime_factors requires n >= 2");
+  std::vector<std::uint64_t> factors;
+  std::uint64_t m = n;
+  for (std::uint64_t d = 2; d * d <= m; d == 2 ? d = 3 : d += 2) {
+    if (m % d == 0) {
+      factors.push_back(d);
+      while (m % d == 0) m /= d;
+    }
+  }
+  if (m > 1) factors.push_back(m);
+  return factors;
+}
+
+bool is_prime_power(std::uint64_t n, std::uint64_t& p, unsigned& k) {
+  if (n < 2) return false;
+  const auto factors = prime_factors(n);
+  if (factors.size() != 1) return false;
+  p = factors[0];
+  k = 0;
+  std::uint64_t m = n;
+  while (m > 1) {
+    m /= p;
+    ++k;
+  }
+  return true;
+}
+
+bool is_prime_power(std::uint64_t n) {
+  std::uint64_t p = 0;
+  unsigned k = 0;
+  return is_prime_power(n, p, k);
+}
+
+std::uint64_t checked_pow(std::uint64_t p, unsigned e) {
+  std::uint64_t result = 1;
+  for (unsigned i = 0; i < e; ++i) {
+    STTSV_REQUIRE(result <= UINT64_MAX / p, "checked_pow overflow");
+    result *= p;
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> prime_powers_in(std::uint64_t lo,
+                                           std::uint64_t hi) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t q = lo < 2 ? 2 : lo; q <= hi; ++q) {
+    if (is_prime_power(q)) out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace sttsv::gf

@@ -1,0 +1,29 @@
+#pragma once
+// Elementary number theory used by the finite-field and Steiner layers.
+
+#include <cstdint>
+#include <vector>
+
+namespace sttsv::gf {
+
+/// Deterministic primality (trial division; inputs here are tiny).
+bool is_prime(std::uint64_t n);
+
+/// Distinct prime factors of n >= 2, ascending.
+std::vector<std::uint64_t> prime_factors(std::uint64_t n);
+
+/// If n == p^k with p prime and k >= 1, returns true and fills p, k.
+bool is_prime_power(std::uint64_t n, std::uint64_t& p, unsigned& k);
+
+/// Convenience overload: just the predicate.
+bool is_prime_power(std::uint64_t n);
+
+/// p^e with overflow check (throws PreconditionError on overflow).
+std::uint64_t checked_pow(std::uint64_t p, unsigned e);
+
+/// All prime powers q with lo <= q <= hi, ascending. Useful for sweeps
+/// over admissible processor counts P = q(q^2+1).
+std::vector<std::uint64_t> prime_powers_in(std::uint64_t lo,
+                                           std::uint64_t hi);
+
+}  // namespace sttsv::gf

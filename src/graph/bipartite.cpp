@@ -1,0 +1,56 @@
+#include "graph/bipartite.hpp"
+
+#include "support/check.hpp"
+
+namespace sttsv::graph {
+
+BipartiteGraph::BipartiteGraph(std::size_t num_left, std::size_t num_right)
+    : num_right_(num_right), adj_(num_left), right_degree_(num_right, 0) {}
+
+std::size_t BipartiteGraph::add_edge(std::size_t u, std::size_t v) {
+  STTSV_REQUIRE(u < adj_.size(), "left vertex out of range");
+  STTSV_REQUIRE(v < num_right_, "right vertex out of range");
+  const std::size_t id = edge_to_.size();
+  edge_to_.push_back(v);
+  edge_from_.push_back(u);
+  adj_[u].push_back(id);
+  ++right_degree_[v];
+  return id;
+}
+
+const std::vector<std::size_t>& BipartiteGraph::edges_of(
+    std::size_t u) const {
+  STTSV_REQUIRE(u < adj_.size(), "left vertex out of range");
+  return adj_[u];
+}
+
+std::size_t BipartiteGraph::head(std::size_t edge) const {
+  STTSV_REQUIRE(edge < edge_to_.size(), "edge id out of range");
+  return edge_to_[edge];
+}
+
+std::size_t BipartiteGraph::tail(std::size_t edge) const {
+  STTSV_REQUIRE(edge < edge_from_.size(), "edge id out of range");
+  return edge_from_[edge];
+}
+
+std::size_t BipartiteGraph::left_degree(std::size_t u) const {
+  return edges_of(u).size();
+}
+
+std::size_t BipartiteGraph::right_degree(std::size_t v) const {
+  STTSV_REQUIRE(v < num_right_, "right vertex out of range");
+  return right_degree_[v];
+}
+
+bool BipartiteGraph::is_regular(std::size_t d) const {
+  for (std::size_t u = 0; u < num_left(); ++u) {
+    if (left_degree(u) != d) return false;
+  }
+  for (std::size_t v = 0; v < num_right_; ++v) {
+    if (right_degree_[v] != d) return false;
+  }
+  return true;
+}
+
+}  // namespace sttsv::graph

@@ -1,0 +1,51 @@
+#pragma once
+// Bipartite (multi)graphs. Parallel edges are kept distinct because the
+// matching-decomposition of d-regular bipartite multigraphs (paper
+// Lemma 7.2.1) peels one copy of an edge per round.
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace sttsv::graph {
+
+inline constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::size_t num_left, std::size_t num_right);
+
+  /// Adds one (more) edge u -> v; returns its edge id.
+  std::size_t add_edge(std::size_t u, std::size_t v);
+
+  [[nodiscard]] std::size_t num_left() const { return adj_.size(); }
+  [[nodiscard]] std::size_t num_right() const { return num_right_; }
+  [[nodiscard]] std::size_t num_edges() const { return edge_to_.size(); }
+
+  /// Edge ids incident to left vertex u.
+  [[nodiscard]] const std::vector<std::size_t>& edges_of(std::size_t u) const;
+
+  /// Right endpoint of an edge id.
+  [[nodiscard]] std::size_t head(std::size_t edge) const;
+
+  /// Left endpoint of an edge id.
+  [[nodiscard]] std::size_t tail(std::size_t edge) const;
+
+  /// Degree of left vertex u (counting multiplicity).
+  [[nodiscard]] std::size_t left_degree(std::size_t u) const;
+
+  /// Degree of right vertex v (counting multiplicity).
+  [[nodiscard]] std::size_t right_degree(std::size_t v) const;
+
+  /// True iff every left and right degree equals d.
+  [[nodiscard]] bool is_regular(std::size_t d) const;
+
+ private:
+  std::size_t num_right_;
+  std::vector<std::vector<std::size_t>> adj_;  // left vertex -> edge ids
+  std::vector<std::size_t> edge_to_;           // edge id -> right vertex
+  std::vector<std::size_t> edge_from_;         // edge id -> left vertex
+  std::vector<std::size_t> right_degree_;
+};
+
+}  // namespace sttsv::graph

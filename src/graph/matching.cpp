@@ -1,0 +1,129 @@
+#include "graph/matching.hpp"
+
+#include <deque>
+
+#include "support/check.hpp"
+
+namespace sttsv::graph {
+
+namespace {
+
+/// Internal Hopcroft-Karp state; vertices are 0-based, kNone = free.
+struct HkState {
+  const BipartiteGraph& g;
+  const std::vector<bool>& disabled;
+  std::vector<std::size_t> match_left;   // left -> edge id
+  std::vector<std::size_t> match_right;  // right -> edge id
+  std::vector<std::size_t> dist;
+
+  explicit HkState(const BipartiteGraph& graph,
+                   const std::vector<bool>& disabled_edges)
+      : g(graph),
+        disabled(disabled_edges),
+        match_left(graph.num_left(), kNone),
+        match_right(graph.num_right(), kNone),
+        dist(graph.num_left(), kNone) {}
+
+  [[nodiscard]] bool edge_enabled(std::size_t e) const {
+    return disabled.empty() || !disabled[e];
+  }
+
+  /// BFS layering from free left vertices; true if an augmenting path exists.
+  bool bfs() {
+    std::deque<std::size_t> queue;
+    for (std::size_t u = 0; u < g.num_left(); ++u) {
+      if (match_left[u] == kNone) {
+        dist[u] = 0;
+        queue.push_back(u);
+      } else {
+        dist[u] = kNone;
+      }
+    }
+    bool found_free_right = false;
+    while (!queue.empty()) {
+      const std::size_t u = queue.front();
+      queue.pop_front();
+      for (const std::size_t e : g.edges_of(u)) {
+        if (!edge_enabled(e)) continue;
+        const std::size_t v = g.head(e);
+        const std::size_t back = match_right[v];
+        if (back == kNone) {
+          found_free_right = true;
+        } else {
+          const std::size_t w = g.tail(back);
+          if (dist[w] == kNone) {
+            dist[w] = dist[u] + 1;
+            queue.push_back(w);
+          }
+        }
+      }
+    }
+    return found_free_right;
+  }
+
+  /// DFS along the BFS layering; true if u got matched.
+  bool dfs(std::size_t u) {
+    for (const std::size_t e : g.edges_of(u)) {
+      if (!edge_enabled(e)) continue;
+      const std::size_t v = g.head(e);
+      const std::size_t back = match_right[v];
+      if (back == kNone ||
+          (dist[g.tail(back)] == dist[u] + 1 && dfs(g.tail(back)))) {
+        match_left[u] = e;
+        match_right[v] = e;
+        return true;
+      }
+    }
+    dist[u] = kNone;
+    return false;
+  }
+};
+
+}  // namespace
+
+Matching hopcroft_karp(const BipartiteGraph& g,
+                       const std::vector<bool>& disabled_edges) {
+  STTSV_REQUIRE(disabled_edges.empty() ||
+                    disabled_edges.size() == g.num_edges(),
+                "disabled_edges must be empty or cover all edges");
+  HkState state(g, disabled_edges);
+  std::size_t size = 0;
+  while (state.bfs()) {
+    for (std::size_t u = 0; u < g.num_left(); ++u) {
+      if (state.match_left[u] == kNone && state.dfs(u)) ++size;
+    }
+  }
+  Matching m;
+  m.left_edge = std::move(state.match_left);
+  m.size = size;
+  return m;
+}
+
+std::vector<Matching> matching_decomposition(const BipartiteGraph& g) {
+  STTSV_REQUIRE(g.num_left() == g.num_right(),
+                "decomposition needs equal sides");
+  const std::size_t n = g.num_left();
+  if (n == 0) return {};
+  const std::size_t d = g.left_degree(0);
+  STTSV_CHECK(g.is_regular(d), "graph is not d-regular");
+
+  std::vector<Matching> rounds;
+  std::vector<bool> disabled(g.num_edges(), false);
+  for (std::size_t round = 0; round < d; ++round) {
+    Matching m = hopcroft_karp(g, disabled);
+    STTSV_CHECK(m.size == n,
+                "regular bipartite graph must have a perfect matching "
+                "(König/Hall violated — graph was not regular?)");
+    for (std::size_t u = 0; u < n; ++u) {
+      disabled[m.left_edge[u]] = true;
+    }
+    rounds.push_back(std::move(m));
+  }
+  // All edges must be used exactly once across the d matchings.
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    STTSV_CHECK(disabled[e], "edge missing from decomposition");
+  }
+  return rounds;
+}
+
+}  // namespace sttsv::graph

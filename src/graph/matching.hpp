@@ -1,0 +1,43 @@
+#pragma once
+// Bipartite matching algorithms.
+//
+//  * hopcroft_karp: maximum matching in O(E sqrt(V)) — the algorithm the
+//    paper cites for finding Hall matchings.
+//  * matching_decomposition: splits a d-regular bipartite multigraph into
+//    d perfect matchings (paper Lemma 7.2.1 via König's theorem), used for
+//    the point-to-point communication schedule (paper Theorem 7.2.2 and
+//    Figure 1).
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+
+namespace sttsv::graph {
+
+/// Result of a maximum matching: for each left vertex, the matched *edge id*
+/// (kNone if unmatched), plus the matching size.
+struct Matching {
+  std::vector<std::size_t> left_edge;  // left vertex -> edge id or kNone
+  std::size_t size = 0;
+
+  /// Right endpoint matched to left vertex u, or kNone.
+  [[nodiscard]] std::size_t right_of(const BipartiteGraph& g,
+                                     std::size_t u) const {
+    return left_edge[u] == kNone ? kNone : g.head(left_edge[u]);
+  }
+};
+
+/// Hopcroft-Karp maximum matching. `disabled_edges[e]` (optional, may be
+/// empty) marks edges excluded from this run — used by the decomposition to
+/// peel matchings without rebuilding the graph.
+Matching hopcroft_karp(const BipartiteGraph& g,
+                       const std::vector<bool>& disabled_edges = {});
+
+/// Decomposes a d-regular bipartite multigraph (num_left == num_right)
+/// into exactly d perfect matchings; throws InternalError if the graph is
+/// not d-regular for the inferred d. Each returned matching maps every left
+/// vertex to an edge id.
+std::vector<Matching> matching_decomposition(const BipartiteGraph& g);
+
+}  // namespace sttsv::graph

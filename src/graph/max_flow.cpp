@@ -1,0 +1,132 @@
+#include "graph/max_flow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace sttsv::graph {
+
+MaxFlow::MaxFlow(std::size_t num_nodes)
+    : adj_(num_nodes), level_(num_nodes), iter_(num_nodes) {}
+
+std::size_t MaxFlow::add_edge(std::size_t from, std::size_t to,
+                              std::int64_t cap) {
+  STTSV_REQUIRE(from < adj_.size() && to < adj_.size(),
+                "flow node out of range");
+  STTSV_REQUIRE(cap >= 0, "capacity must be nonnegative");
+  STTSV_REQUIRE(!ran_, "cannot add edges after run()");
+  adj_[from].push_back(Edge{to, cap, adj_[to].size(), cap});
+  adj_[to].push_back(Edge{from, 0, adj_[from].size() - 1, 0});
+  handles_.emplace_back(from, adj_[from].size() - 1);
+  return handles_.size() - 1;
+}
+
+bool MaxFlow::bfs(std::size_t s, std::size_t t) {
+  std::fill(level_.begin(), level_.end(), kNone);
+  std::deque<std::size_t> queue;
+  level_[s] = 0;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop_front();
+    for (const Edge& e : adj_[v]) {
+      if (e.cap > 0 && level_[e.to] == kNone) {
+        level_[e.to] = level_[v] + 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return level_[t] != kNone;
+}
+
+std::int64_t MaxFlow::dfs(std::size_t v, std::size_t t, std::int64_t limit) {
+  if (v == t) return limit;
+  for (std::size_t& i = iter_[v]; i < adj_[v].size(); ++i) {
+    Edge& e = adj_[v][i];
+    if (e.cap <= 0 || level_[e.to] != level_[v] + 1) continue;
+    const std::int64_t pushed = dfs(e.to, t, std::min(limit, e.cap));
+    if (pushed > 0) {
+      e.cap -= pushed;
+      adj_[e.to][e.rev].cap += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::run(std::size_t s, std::size_t t) {
+  STTSV_REQUIRE(s < adj_.size() && t < adj_.size() && s != t,
+                "invalid source/sink");
+  STTSV_REQUIRE(!ran_, "run() may be called once");
+  ran_ = true;
+  std::int64_t flow = 0;
+  while (bfs(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    while (true) {
+      const std::int64_t pushed =
+          dfs(s, t, std::numeric_limits<std::int64_t>::max());
+      if (pushed == 0) break;
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+std::int64_t MaxFlow::flow_on(std::size_t edge_handle) const {
+  STTSV_REQUIRE(edge_handle < handles_.size(), "bad edge handle");
+  STTSV_REQUIRE(ran_, "flow_on requires run() first");
+  const auto [node, idx] = handles_[edge_handle];
+  const Edge& e = adj_[node][idx];
+  return e.orig - e.cap;
+}
+
+std::vector<std::size_t> assign_with_quotas(
+    const BipartiteGraph& g, const std::vector<std::size_t>& quota) {
+  STTSV_REQUIRE(quota.size() == g.num_left(),
+                "quota vector must cover all bins");
+  const std::size_t bins = g.num_left();
+  const std::size_t items = g.num_right();
+
+  // Node layout: 0 = source, 1..bins = bins, bins+1..bins+items = items,
+  // bins+items+1 = sink.
+  const std::size_t source = 0;
+  const std::size_t sink = bins + items + 1;
+  MaxFlow flow(bins + items + 2);
+
+  for (std::size_t u = 0; u < bins; ++u) {
+    flow.add_edge(source, 1 + u, static_cast<std::int64_t>(quota[u]));
+  }
+  // Remember per-item candidate edges so we can read the assignment back.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> candidates(
+      items);  // item -> (bin, edge handle)
+  for (std::size_t u = 0; u < bins; ++u) {
+    for (const std::size_t e : g.edges_of(u)) {
+      const std::size_t v = g.head(e);
+      const std::size_t handle = flow.add_edge(1 + u, 1 + bins + v, 1);
+      candidates[v].emplace_back(u, handle);
+    }
+  }
+  for (std::size_t v = 0; v < items; ++v) {
+    flow.add_edge(1 + bins + v, sink, 1);
+  }
+
+  const std::int64_t value = flow.run(source, sink);
+  STTSV_CHECK(value == static_cast<std::int64_t>(items),
+              "quota assignment infeasible (Hall condition violated)");
+
+  std::vector<std::size_t> owner(items, kNone);
+  for (std::size_t v = 0; v < items; ++v) {
+    for (const auto& [bin, handle] : candidates[v]) {
+      if (flow.flow_on(handle) == 1) {
+        STTSV_CHECK(owner[v] == kNone, "item assigned twice");
+        owner[v] = bin;
+      }
+    }
+    STTSV_CHECK(owner[v] != kNone, "item left unassigned despite full flow");
+  }
+  return owner;
+}
+
+}  // namespace sttsv::graph

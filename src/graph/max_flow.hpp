@@ -1,0 +1,54 @@
+#pragma once
+// Dinic's maximum-flow algorithm, used for the Hall-style quota
+// assignments of Section 6.1.3: distributing non-central diagonal blocks
+// (q per processor) and central diagonal blocks (at most 1 per processor)
+// subject to the compatibility edges a,b ∈ R_p.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+
+namespace sttsv::graph {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t num_nodes);
+
+  /// Adds a directed edge with the given capacity; returns an edge handle
+  /// usable with flow_on(). A reverse residual edge is added internally.
+  std::size_t add_edge(std::size_t from, std::size_t to, std::int64_t cap);
+
+  /// Runs Dinic from s to t; returns the max-flow value. May be called once.
+  std::int64_t run(std::size_t s, std::size_t t);
+
+  /// Flow routed on a previously added edge (after run()).
+  [[nodiscard]] std::int64_t flow_on(std::size_t edge_handle) const;
+
+ private:
+  struct Edge {
+    std::size_t to;
+    std::int64_t cap;   // remaining capacity
+    std::size_t rev;    // index of reverse edge in adj_[to]
+    std::int64_t orig;  // original capacity (for flow_on)
+  };
+
+  bool bfs(std::size_t s, std::size_t t);
+  std::int64_t dfs(std::size_t v, std::size_t t, std::int64_t limit);
+
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<std::size_t> level_;
+  std::vector<std::size_t> iter_;
+  std::vector<std::pair<std::size_t, std::size_t>> handles_;  // node, idx
+  bool ran_ = false;
+};
+
+/// Assigns each right-side item of `g` to exactly one adjacent left-side
+/// bin, with bin u receiving at most quota[u] items. Throws InternalError
+/// if no full assignment exists (per Corollary 6.7 it always does for our
+/// Steiner-derived graphs). Returns owner bin per item.
+std::vector<std::size_t> assign_with_quotas(
+    const BipartiteGraph& g, const std::vector<std::size_t>& quota);
+
+}  // namespace sttsv::graph

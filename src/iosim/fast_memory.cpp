@@ -1,0 +1,97 @@
+#include "iosim/fast_memory.hpp"
+
+#include "support/check.hpp"
+
+namespace sttsv::iosim {
+
+FastMemory::FastMemory(std::size_t capacity_words)
+    : capacity_(capacity_words) {
+  STTSV_REQUIRE(capacity_words >= 1, "fast memory needs capacity >= 1");
+}
+
+void FastMemory::touch(const SegmentKey& key, Entry& entry) {
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(key);
+  entry.lru_pos = lru_.begin();
+}
+
+void FastMemory::make_room(std::size_t words) {
+  STTSV_REQUIRE(words <= capacity_,
+                "segment larger than fast memory capacity");
+  while (resident_ + words > capacity_) {
+    STTSV_CHECK(!lru_.empty(), "capacity accounting out of sync");
+    const SegmentKey victim = lru_.back();
+    lru_.pop_back();
+    auto it = table_.find(victim);
+    STTSV_CHECK(it != table_.end(), "LRU entry missing from table");
+    if (it->second.dirty) stats_.stores += it->second.words;
+    resident_ -= it->second.words;
+    ++stats_.evictions;
+    table_.erase(it);
+  }
+}
+
+void FastMemory::insert(const SegmentKey& key, std::size_t words,
+                        bool dirty, bool charge_load) {
+  make_room(words);
+  if (charge_load) stats_.loads += words;
+  lru_.push_front(key);
+  table_[key] = Entry{words, dirty, lru_.begin()};
+  resident_ += words;
+}
+
+void FastMemory::read(const SegmentKey& key, std::size_t words) {
+  ++stats_.accesses;
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    STTSV_REQUIRE(it->second.words == words,
+                  "segment accessed with inconsistent size");
+    ++stats_.hits;
+    touch(key, it->second);
+    return;
+  }
+  insert(key, words, /*dirty=*/false, /*charge_load=*/true);
+}
+
+void FastMemory::write(const SegmentKey& key, std::size_t words) {
+  ++stats_.accesses;
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    STTSV_REQUIRE(it->second.words == words,
+                  "segment accessed with inconsistent size");
+    ++stats_.hits;
+    it->second.dirty = true;
+    touch(key, it->second);
+    return;
+  }
+  insert(key, words, /*dirty=*/true, /*charge_load=*/true);
+}
+
+void FastMemory::write_no_allocate(const SegmentKey& key,
+                                   std::size_t words) {
+  ++stats_.accesses;
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    STTSV_REQUIRE(it->second.words == words,
+                  "segment accessed with inconsistent size");
+    ++stats_.hits;
+    it->second.dirty = true;
+    touch(key, it->second);
+    return;
+  }
+  insert(key, words, /*dirty=*/true, /*charge_load=*/false);
+}
+
+void FastMemory::stream(std::size_t words) { stats_.loads += words; }
+
+void FastMemory::flush() {
+  for (auto& [key, entry] : table_) {
+    (void)key;
+    if (entry.dirty) {
+      stats_.stores += entry.words;
+      entry.dirty = false;
+    }
+  }
+}
+
+}  // namespace sttsv::iosim

@@ -1,0 +1,91 @@
+#pragma once
+// A two-level memory model for sequential I/O analysis (the limited-
+// memory direction of the paper's Section 8, and the setting of the
+// sequential results it cites — Hong-Kung pebbling, Beaumont et al.).
+//
+// Slow memory holds all data; fast memory holds at most `capacity` words.
+// Data moves in named segments (e.g. "row block i of x"). Reads of absent
+// segments charge a load of the segment's length; evictions of dirty
+// segments charge a store. Replacement is LRU.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+namespace sttsv::iosim {
+
+/// Identifies a cached segment: which array, which segment within it.
+struct SegmentKey {
+  std::uint32_t array = 0;
+  std::uint64_t index = 0;
+
+  friend bool operator==(const SegmentKey&, const SegmentKey&) = default;
+};
+
+struct SegmentKeyHash {
+  std::size_t operator()(const SegmentKey& k) const {
+    return std::hash<std::uint64_t>()(
+        (static_cast<std::uint64_t>(k.array) << 48) ^ k.index);
+  }
+};
+
+class FastMemory {
+ public:
+  struct Stats {
+    std::uint64_t loads = 0;          // words moved slow -> fast
+    std::uint64_t stores = 0;         // words moved fast -> slow
+    std::uint64_t evictions = 0;      // segments displaced by capacity
+    std::uint64_t hits = 0;           // accesses served from fast memory
+    std::uint64_t accesses = 0;       // total segment accesses
+
+    [[nodiscard]] std::uint64_t traffic() const { return loads + stores; }
+  };
+
+  /// capacity in words; must hold at least one segment of every size the
+  /// caller will touch (checked per access).
+  explicit FastMemory(std::size_t capacity_words);
+
+  /// Touches a segment for reading; loads it if absent.
+  void read(const SegmentKey& key, std::size_t words);
+
+  /// Touches a segment for writing; loads it if absent (write-allocate)
+  /// and marks it dirty.
+  void write(const SegmentKey& key, std::size_t words);
+
+  /// Touches a segment for writing without loading it first (the caller
+  /// overwrites the whole segment); marks dirty.
+  void write_no_allocate(const SegmentKey& key, std::size_t words);
+
+  /// Charges a pure stream of `words` through fast memory without caching
+  /// (non-temporal load — used for the tensor, which has zero reuse).
+  void stream(std::size_t words);
+
+  /// Writes back all dirty segments.
+  void flush();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t resident_words() const { return resident_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::size_t words = 0;
+    bool dirty = false;
+    std::list<SegmentKey>::iterator lru_pos;
+  };
+
+  void touch(const SegmentKey& key, Entry& entry);
+  void make_room(std::size_t words);
+  void insert(const SegmentKey& key, std::size_t words, bool dirty,
+              bool charge_load);
+
+  std::size_t capacity_;
+  std::size_t resident_ = 0;
+  Stats stats_;
+  std::list<SegmentKey> lru_;  // front = most recent
+  std::unordered_map<SegmentKey, Entry, SegmentKeyHash> table_;
+};
+
+}  // namespace sttsv::iosim

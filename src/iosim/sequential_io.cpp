@@ -1,0 +1,154 @@
+#include "iosim/sequential_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/block_kernels.hpp"
+#include "partition/blocks.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::iosim {
+
+namespace {
+
+constexpr std::uint32_t kArrayX = 0;
+constexpr std::uint32_t kArrayY = 1;
+
+std::size_t block_len(std::size_t block, std::size_t b, std::size_t n) {
+  const std::size_t start = block * b;
+  return start >= n ? 0 : std::min(b, n - start);
+}
+
+}  // namespace
+
+IoResult blocked_sttsv_io(const tensor::SymTensor3& a,
+                          const std::vector<double>& x, std::size_t tile_b,
+                          std::size_t capacity_words) {
+  const std::size_t n = a.dim();
+  STTSV_REQUIRE(x.size() == n, "vector length must match tensor dimension");
+  STTSV_REQUIRE(tile_b >= 1, "tile edge must be >= 1");
+  STTSV_REQUIRE(capacity_words >= 6 * tile_b,
+                "fast memory must hold six row blocks (3 of x, 3 of y)");
+  const std::size_t m = (n + tile_b - 1) / tile_b;
+
+  FastMemory mem(capacity_words);
+  // The tensor streams through exactly once — compulsory traffic that no
+  // schedule can reduce (each packed entry is used at one tile).
+  mem.stream(a.packed_size());
+
+  std::vector<double> x_pad(m * tile_b, 0.0);
+  std::copy(x.begin(), x.end(), x_pad.begin());
+  std::vector<double> y_pad(m * tile_b, 0.0);
+
+  for (const auto& c : partition::all_lower_blocks(m)) {
+    // Charge the vector working set of this tile (LRU keeps recently
+    // used row blocks resident, so adjacent tiles reuse them for free).
+    for (const std::size_t blk : {c.i, c.j, c.k}) {
+      const std::size_t len = block_len(blk, tile_b, n);
+      if (len == 0) continue;
+      mem.read(SegmentKey{kArrayX, blk}, len);
+    }
+    for (const std::size_t blk : {c.i, c.j, c.k}) {
+      const std::size_t len = block_len(blk, tile_b, n);
+      if (len == 0) continue;
+      mem.write(SegmentKey{kArrayY, blk}, len);
+    }
+    core::BlockBuffers buf;
+    buf.x[0] = x_pad.data() + c.i * tile_b;
+    buf.x[1] = x_pad.data() + c.j * tile_b;
+    buf.x[2] = x_pad.data() + c.k * tile_b;
+    buf.y[0] = y_pad.data() + c.i * tile_b;
+    buf.y[1] = y_pad.data() + c.j * tile_b;
+    buf.y[2] = y_pad.data() + c.k * tile_b;
+    (void)core::apply_block(a, c, tile_b, buf);
+  }
+  mem.flush();
+
+  IoResult result;
+  result.y.assign(y_pad.begin(), y_pad.begin() + static_cast<long>(n));
+  result.stats = mem.stats();
+  result.tensor_words = a.packed_size();
+  result.vector_traffic = result.stats.traffic() - result.tensor_words;
+  return result;
+}
+
+IoResult streaming_sttsv_io(const tensor::SymTensor3& a,
+                            const std::vector<double>& x,
+                            std::size_t capacity_words,
+                            std::size_t segment_words) {
+  const std::size_t n = a.dim();
+  STTSV_REQUIRE(x.size() == n, "vector length must match tensor dimension");
+  STTSV_REQUIRE(segment_words >= 1, "segment size must be >= 1");
+
+  FastMemory mem(capacity_words);
+  mem.stream(a.packed_size());
+
+  auto seg_of = [&](std::size_t elem) { return elem / segment_words; };
+  auto seg_len = [&](std::size_t seg) {
+    const std::size_t start = seg * segment_words;
+    return std::min(segment_words, n - start);
+  };
+  auto read_x = [&](std::size_t elem) {
+    mem.read(SegmentKey{kArrayX, seg_of(elem)}, seg_len(seg_of(elem)));
+  };
+  auto write_y = [&](std::size_t elem) {
+    mem.write(SegmentKey{kArrayY, seg_of(elem)}, seg_len(seg_of(elem)));
+  };
+
+  std::vector<double> y(n, 0.0);
+  const double* data = a.data();
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      for (std::size_t k = 0; k <= j; ++k, ++idx) {
+        const double v = data[idx];
+        if (i != j && j != k) {
+          read_x(i);
+          read_x(j);
+          read_x(k);
+          write_y(i);
+          write_y(j);
+          write_y(k);
+          y[i] += 2.0 * v * x[j] * x[k];
+          y[j] += 2.0 * v * x[i] * x[k];
+          y[k] += 2.0 * v * x[i] * x[j];
+        } else if (i == j && j != k) {
+          read_x(i);
+          read_x(k);
+          write_y(i);
+          write_y(k);
+          y[i] += 2.0 * v * x[j] * x[k];
+          y[k] += v * x[i] * x[j];
+        } else if (i != j && j == k) {
+          read_x(i);
+          read_x(k);
+          write_y(i);
+          write_y(j);
+          y[i] += v * x[j] * x[k];
+          y[j] += 2.0 * v * x[i] * x[k];
+        } else {
+          read_x(i);
+          write_y(i);
+          y[i] += v * x[j] * x[k];
+        }
+      }
+    }
+  }
+  mem.flush();
+
+  IoResult result;
+  result.y = std::move(y);
+  result.stats = mem.stats();
+  result.tensor_words = a.packed_size();
+  result.vector_traffic = result.stats.traffic() - result.tensor_words;
+  return result;
+}
+
+double blocked_vector_traffic_bound(std::size_t n, std::size_t tile_b) {
+  const double m = std::ceil(static_cast<double>(n) /
+                             static_cast<double>(tile_b));
+  const double tiles = m * (m + 1.0) * (m + 2.0) / 6.0;
+  return tiles * 6.0 * static_cast<double>(tile_b);
+}
+
+}  // namespace sttsv::iosim

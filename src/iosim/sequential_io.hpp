@@ -1,0 +1,50 @@
+#pragma once
+// Sequential STTSV on the two-level memory model. The tensor has zero
+// reuse (every packed entry participates in one iteration-space point),
+// so it streams through fast memory exactly once — n(n+1)(n+2)/6 words of
+// compulsory traffic. All the schedule can optimize is VECTOR traffic:
+//
+//  * blocked_sttsv_io — tetra-tile schedule with edge b: every b×b×b tile
+//    touches 3 x-blocks and 3 y-blocks, so vector traffic scales like
+//    O(n³/b²) words and falls quadratically with b until the working set
+//    (6 row blocks of length b, plus reuse across adjacent tiles)
+//    exceeds fast memory;
+//  * streaming_sttsv_io — the unblocked packed walk (b = 1): the natural
+//    Algorithm 4 loop, whose x_k/y_k accesses sweep ranges of length j
+//    and thrash once n exceeds the cache.
+//
+// Both produce the numerically identical y and report the model's traffic.
+
+#include <cstdint>
+#include <vector>
+
+#include "iosim/fast_memory.hpp"
+#include "tensor/sym_tensor.hpp"
+
+namespace sttsv::iosim {
+
+struct IoResult {
+  std::vector<double> y;
+  FastMemory::Stats stats;
+  std::uint64_t tensor_words = 0;  // streamed once (compulsory)
+  std::uint64_t vector_traffic = 0;  // loads+stores of x/y segments
+};
+
+/// Tile schedule over lower-tetra b-blocks; `capacity_words` is the fast
+/// memory size (must hold at least 6 row blocks: 3 of x, 3 of y).
+IoResult blocked_sttsv_io(const tensor::SymTensor3& a,
+                          const std::vector<double>& x, std::size_t tile_b,
+                          std::size_t capacity_words);
+
+/// Unblocked packed-linear walk; vector elements cached in segments of
+/// `segment_words` (1 = per-element).
+IoResult streaming_sttsv_io(const tensor::SymTensor3& a,
+                            const std::vector<double>& x,
+                            std::size_t capacity_words,
+                            std::size_t segment_words = 1);
+
+/// Upper-bound model for the blocked schedule's vector traffic with a
+/// cold cache per tile: 6b words per tile × #tiles ≈ n³/b² + O(n²/b).
+double blocked_vector_traffic_bound(std::size_t n, std::size_t tile_b);
+
+}  // namespace sttsv::iosim

@@ -1,0 +1,126 @@
+#include "matrix/pair_system.hpp"
+
+#include <algorithm>
+
+#include "gf/field_table.hpp"
+#include "gf/primes.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::matrix {
+
+PairSystem::PairSystem(std::size_t num_points, std::size_t block_size,
+                       std::vector<std::vector<std::size_t>> blocks)
+    : m_(num_points), r_(block_size), blocks_(std::move(blocks)) {
+  STTSV_REQUIRE(r_ >= 2, "block size must be >= 2 for a (m, r, 2) system");
+  STTSV_REQUIRE(m_ > r_ || (m_ == r_ && blocks_.size() == 1) || r_ == 2,
+                "degenerate parameters");
+  const std::size_t expected = m_ * (m_ - 1) / (r_ * (r_ - 1));
+  STTSV_REQUIRE(m_ * (m_ - 1) % (r_ * (r_ - 1)) == 0 &&
+                    blocks_.size() == expected,
+                "block count must be m(m-1)/(r(r-1))");
+
+  point_blocks_.assign(m_, {});
+  pair_block_.assign(m_ * m_, 0);
+  std::vector<bool> covered(m_ * m_, false);
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    const auto& blk = blocks_[b];
+    STTSV_REQUIRE(blk.size() == r_, "block has wrong size");
+    STTSV_REQUIRE(std::is_sorted(blk.begin(), blk.end()) &&
+                      std::adjacent_find(blk.begin(), blk.end()) ==
+                          blk.end() &&
+                      blk.back() < m_,
+                  "block must be a strictly increasing subset");
+    for (const auto pt : blk) point_blocks_[pt].push_back(b);
+    for (std::size_t s = 0; s < blk.size(); ++s) {
+      for (std::size_t t = s + 1; t < blk.size(); ++t) {
+        const std::size_t key = blk[s] * m_ + blk[t];
+        STTSV_CHECK(!covered[key], "pair covered twice");
+        covered[key] = true;
+        pair_block_[key] = b;
+        pair_block_[blk[t] * m_ + blk[s]] = b;
+      }
+    }
+  }
+  for (const auto& pb : point_blocks_) {
+    STTSV_CHECK(pb.size() == point_replication(),
+                "point replication not (m-1)/(r-1)");
+  }
+}
+
+const std::vector<std::size_t>& PairSystem::block(std::size_t b) const {
+  STTSV_REQUIRE(b < blocks_.size(), "block index out of range");
+  return blocks_[b];
+}
+
+std::size_t PairSystem::point_replication() const {
+  STTSV_CHECK((m_ - 1) % (r_ - 1) == 0, "replication not integral");
+  return (m_ - 1) / (r_ - 1);
+}
+
+std::size_t PairSystem::block_of_pair(std::size_t a, std::size_t b) const {
+  STTSV_REQUIRE(a < m_ && b < m_ && a != b, "need two distinct points");
+  return pair_block_[a * m_ + b];
+}
+
+void PairSystem::verify() const {
+  for (std::size_t a = 0; a < m_; ++a) {
+    for (std::size_t b = a + 1; b < m_; ++b) {
+      const std::size_t blk_idx = block_of_pair(a, b);
+      const auto& blk = blocks_[blk_idx];
+      STTSV_CHECK(std::binary_search(blk.begin(), blk.end(), a) &&
+                      std::binary_search(blk.begin(), blk.end(), b),
+                  "pair lookup inconsistent");
+    }
+  }
+}
+
+PairSystem projective_plane_system(std::uint64_t q) {
+  STTSV_REQUIRE(gf::is_prime_power(q), "projective plane needs prime power");
+  const gf::FieldTable K = gf::FieldTable::make_order(q);
+  // Points of PG(2, q): normalized homogeneous triples. Canonical forms:
+  // (1, y, z), (0, 1, z), (0, 0, 1) — q² + q + 1 of them.
+  struct Triple {
+    std::uint64_t x, y, z;
+  };
+  std::vector<Triple> points;
+  for (std::uint64_t y = 0; y < q; ++y) {
+    for (std::uint64_t z = 0; z < q; ++z) {
+      points.push_back({1, y, z});
+    }
+  }
+  for (std::uint64_t z = 0; z < q; ++z) points.push_back({0, 1, z});
+  points.push_back({0, 0, 1});
+  const std::size_t m = points.size();
+  STTSV_CHECK(m == q * q + q + 1, "projective point count");
+
+  // Lines are the same triples (duality): line (a,b,c) contains point
+  // (x,y,z) iff ax + by + cz == 0.
+  std::vector<std::vector<std::size_t>> blocks;
+  blocks.reserve(m);
+  for (const auto& line : points) {
+    std::vector<std::size_t> blk;
+    for (std::size_t p = 0; p < m; ++p) {
+      const auto& pt = points[p];
+      const std::uint64_t dot = K.add(
+          K.add(K.mul(line.x, pt.x), K.mul(line.y, pt.y)),
+          K.mul(line.z, pt.z));
+      if (dot == 0) blk.push_back(p);
+    }
+    STTSV_CHECK(blk.size() == q + 1, "projective line size");
+    blocks.push_back(std::move(blk));
+  }
+  std::sort(blocks.begin(), blocks.end());
+  return PairSystem(m, static_cast<std::size_t>(q) + 1, std::move(blocks));
+}
+
+PairSystem trivial_pair_system(std::size_t m) {
+  STTSV_REQUIRE(m >= 3, "trivial pair system needs m >= 3");
+  std::vector<std::vector<std::size_t>> blocks;
+  blocks.reserve(m * (m - 1) / 2);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a + 1; b < m; ++b) blocks.push_back({a, b});
+  }
+  return PairSystem(m, 2, std::move(blocks));
+}
+
+}  // namespace sttsv::matrix

@@ -1,0 +1,61 @@
+#pragma once
+// Steiner (m, r, 2) systems — "linear spaces": collections of r-subsets
+// in which every PAIR of points lies in exactly one block. These generate
+// the triangle block partitions of symmetric matrices (Beaumont et al.
+// 2022; Al Daas et al. 2023/2025), the 2D scheme the paper's tetrahedral
+// partition generalizes.
+//
+// Families provided:
+//  * projective_plane_system(q): lines of PG(2, q) — S(q²+q+1, q+1, 2)
+//    with exactly P = q²+q+1 blocks (and m == P);
+//  * trivial_pair_system(m): every pair its own block, any m >= 3.
+
+#include <cstdint>
+#include <vector>
+
+namespace sttsv::matrix {
+
+class PairSystem {
+ public:
+  PairSystem(std::size_t num_points, std::size_t block_size,
+             std::vector<std::vector<std::size_t>> blocks);
+
+  [[nodiscard]] std::size_t num_points() const { return m_; }
+  [[nodiscard]] std::size_t block_size() const { return r_; }
+  [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
+  [[nodiscard]] const std::vector<std::size_t>& block(std::size_t b) const;
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& blocks() const {
+    return blocks_;
+  }
+
+  /// λ₁: every point lies in exactly (m-1)/(r-1) blocks.
+  [[nodiscard]] std::size_t point_replication() const;
+
+  /// Blocks containing each point, ascending (the 2D Q_i sets).
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& point_blocks()
+      const {
+    return point_blocks_;
+  }
+
+  /// Index of the unique block containing the pair {a, b}, a != b.
+  [[nodiscard]] std::size_t block_of_pair(std::size_t a,
+                                          std::size_t b) const;
+
+  /// Exhaustive verification: every pair covered exactly once.
+  void verify() const;
+
+ private:
+  std::size_t m_;
+  std::size_t r_;
+  std::vector<std::vector<std::size_t>> blocks_;
+  std::vector<std::vector<std::size_t>> point_blocks_;
+  std::vector<std::size_t> pair_block_;  // m*m lookup, kNone-free
+};
+
+/// Lines of the projective plane PG(2, q): S(q²+q+1, q+1, 2).
+PairSystem projective_plane_system(std::uint64_t q);
+
+/// All 2-subsets as blocks: S(m, 2, 2).
+PairSystem trivial_pair_system(std::size_t m);
+
+}  // namespace sttsv::matrix

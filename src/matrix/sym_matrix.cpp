@@ -1,0 +1,56 @@
+#include "matrix/sym_matrix.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace sttsv::matrix {
+
+std::size_t tri_index(std::size_t i, std::size_t j) {
+  STTSV_DCHECK(i >= j, "tri_index needs sorted indices");
+  return i * (i + 1) / 2 + j;
+}
+
+SymMatrix::SymMatrix(std::size_t n) : n_(n), data_(n * (n + 1) / 2, 0.0) {
+  STTSV_REQUIRE(n >= 1, "matrix dimension must be >= 1");
+}
+
+double SymMatrix::operator()(std::size_t i, std::size_t j) const {
+  STTSV_DCHECK(i < n_ && j < n_, "index out of range");
+  if (i < j) std::swap(i, j);
+  return data_[tri_index(i, j)];
+}
+
+double& SymMatrix::at(std::size_t i, std::size_t j) {
+  STTSV_REQUIRE(i < n_ && j < n_, "index out of range");
+  if (i < j) std::swap(i, j);
+  return data_[tri_index(i, j)];
+}
+
+SymMatrix random_symmetric_matrix(std::size_t n, Rng& rng, double lo,
+                                  double hi) {
+  SymMatrix a(n);
+  for (std::size_t idx = 0; idx < a.packed_size(); ++idx) {
+    a.data()[idx] = rng.next_in(lo, hi);
+  }
+  return a;
+}
+
+std::vector<double> symv(const SymMatrix& a, const std::vector<double>& x) {
+  const std::size_t n = a.dim();
+  STTSV_REQUIRE(x.size() == n, "vector length must match matrix dimension");
+  std::vector<double> y(n, 0.0);
+  const double* data = a.data();
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j, ++idx) {
+      y[i] += data[idx] * x[j];
+      y[j] += data[idx] * x[i];
+    }
+    y[i] += data[idx] * x[i];  // diagonal
+    ++idx;
+  }
+  return y;
+}
+
+}  // namespace sttsv::matrix

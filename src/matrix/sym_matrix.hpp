@@ -1,0 +1,43 @@
+#pragma once
+// Packed symmetric matrices — the 2D ancestor of the tensor code, used by
+// the triangle-block-partition module that reimplements the prior work
+// the paper generalizes (Beaumont et al. 2022, Al Daas et al. 2023/25).
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace sttsv::matrix {
+
+/// Lower-triangle packed storage: entries (i >= j), n(n+1)/2 of them,
+/// offset i(i+1)/2 + j.
+class SymMatrix {
+ public:
+  explicit SymMatrix(std::size_t n);
+
+  [[nodiscard]] std::size_t dim() const { return n_; }
+  [[nodiscard]] std::size_t packed_size() const { return data_.size(); }
+
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const;
+  double& at(std::size_t i, std::size_t j);
+
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+ private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+/// Packed triangular index of sorted (i >= j).
+std::size_t tri_index(std::size_t i, std::size_t j);
+
+/// Uniform random symmetric matrix.
+SymMatrix random_symmetric_matrix(std::size_t n, Rng& rng,
+                                  double lo = -1.0, double hi = 1.0);
+
+/// Reference y = A·x exploiting symmetry (one pass over the triangle).
+std::vector<double> symv(const SymMatrix& a, const std::vector<double>& x);
+
+}  // namespace sttsv::matrix

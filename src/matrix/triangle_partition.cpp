@@ -1,0 +1,142 @@
+#include "matrix/triangle_partition.hpp"
+
+#include <algorithm>
+
+#include "graph/bipartite.hpp"
+#include "graph/max_flow.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::matrix {
+
+TrianglePartition TrianglePartition::build(PairSystem system,
+                                           std::size_t n) {
+  STTSV_REQUIRE(system.num_points() <= system.num_blocks(),
+                "need m <= P for one diagonal block per processor");
+  return TrianglePartition(std::move(system), n);
+}
+
+TrianglePartition::TrianglePartition(PairSystem system, std::size_t n)
+    : sys_(std::move(system)),
+      n_(n),
+      b_((n + sys_.num_points() - 1) / sys_.num_points()),
+      diag_(sys_.num_blocks()),
+      diag_owner_(sys_.num_points(), graph::kNone) {
+  STTSV_REQUIRE(n >= 1, "vector length must be >= 1");
+  // Hall assignment of diagonal blocks: candidates are processors whose
+  // R_p contains the index.
+  const std::size_t m = sys_.num_points();
+  const std::size_t P = sys_.num_blocks();
+  graph::BipartiteGraph g(P, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (const std::size_t p : sys_.point_blocks()[i]) {
+      g.add_edge(p, i);
+    }
+  }
+  const std::size_t quota = (m + P - 1) / P;
+  const auto owners =
+      graph::assign_with_quotas(g, std::vector<std::size_t>(P, quota));
+  for (std::size_t i = 0; i < m; ++i) {
+    diag_[owners[i]].push_back(i);
+    diag_owner_[i] = owners[i];
+  }
+}
+
+std::size_t TrianglePartition::num_processors() const {
+  return sys_.num_blocks();
+}
+
+std::size_t TrianglePartition::num_row_blocks() const {
+  return sys_.num_points();
+}
+
+const std::vector<std::size_t>& TrianglePartition::R(std::size_t p) const {
+  return sys_.block(p);
+}
+
+const std::vector<std::size_t>& TrianglePartition::Q(std::size_t i) const {
+  STTSV_REQUIRE(i < sys_.num_points(), "row block out of range");
+  return sys_.point_blocks()[i];
+}
+
+const std::vector<std::size_t>& TrianglePartition::diagonals(
+    std::size_t p) const {
+  STTSV_REQUIRE(p < diag_.size(), "processor out of range");
+  return diag_[p];
+}
+
+std::vector<MatBlockCoord> TrianglePartition::owned_blocks(
+    std::size_t p) const {
+  std::vector<MatBlockCoord> out;
+  const auto& Rp = R(p);
+  for (std::size_t s = 0; s < Rp.size(); ++s) {
+    for (std::size_t t = s + 1; t < Rp.size(); ++t) {
+      out.push_back(MatBlockCoord{Rp[t], Rp[s]});
+    }
+  }
+  for (const std::size_t i : diag_[p]) {
+    out.push_back(MatBlockCoord{i, i});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t TrianglePartition::owner(const MatBlockCoord& c) const {
+  STTSV_REQUIRE(c.i >= c.j && c.i < sys_.num_points(),
+                "block must be sorted and in range");
+  if (c.i == c.j) return diag_owner_[c.i];
+  return sys_.block_of_pair(c.i, c.j);
+}
+
+MatShare TrianglePartition::share(std::size_t row_block,
+                                  std::size_t p) const {
+  const auto& Qi = Q(row_block);
+  const auto it = std::lower_bound(Qi.begin(), Qi.end(), p);
+  STTSV_REQUIRE(it != Qi.end() && *it == p,
+                "processor does not require this row block");
+  const auto pos = static_cast<std::size_t>(it - Qi.begin());
+  const std::size_t w = Qi.size();
+  const std::size_t base = b_ / w;
+  const std::size_t extra = b_ % w;
+  return MatShare{pos * base + std::min(pos, extra),
+                  base + (pos < extra ? 1 : 0)};
+}
+
+void TrianglePartition::validate() const {
+  const std::size_t m = sys_.num_points();
+  // Every lower-triangle block owned exactly once by a compatible owner.
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const std::size_t p = owner(MatBlockCoord{i, j});
+      const auto& Rp = R(p);
+      STTSV_CHECK(std::binary_search(Rp.begin(), Rp.end(), i) &&
+                      std::binary_search(Rp.begin(), Rp.end(), j),
+                  "owner incompatible with block indices");
+      ++counted;
+    }
+  }
+  STTSV_CHECK(counted == m * (m + 1) / 2, "triangle coverage mismatch");
+
+  // Owned lists consistent, diagonal totals exact.
+  std::size_t diag_total = 0;
+  for (std::size_t p = 0; p < sys_.num_blocks(); ++p) {
+    for (const auto& c : owned_blocks(p)) {
+      STTSV_CHECK(owner(c) == p, "owned_blocks/owner mismatch");
+    }
+    diag_total += diag_[p].size();
+  }
+  STTSV_CHECK(diag_total == m, "diagonal blocks not all assigned");
+
+  // Shares tile each row block.
+  for (std::size_t i = 0; i < m; ++i) {
+    std::size_t cursor = 0;
+    for (const std::size_t p : Q(i)) {
+      const MatShare s = share(i, p);
+      STTSV_CHECK(s.offset == cursor, "share gap/overlap");
+      cursor += s.length;
+    }
+    STTSV_CHECK(cursor == b_, "shares do not tile the row block");
+  }
+}
+
+}  // namespace sttsv::matrix

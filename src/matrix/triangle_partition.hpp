@@ -1,0 +1,79 @@
+#pragma once
+// Triangle block partition of a symmetric matrix (Beaumont et al. 2022;
+// Al Daas et al. 2023/2025) — the 2D scheme the paper's tetrahedral
+// partition extends. Given a Steiner (m, r, 2) system:
+//
+//  * processor p owns TB₂(R_p) = {(i, j) : i > j ∈ R_p} — every
+//    off-diagonal block of the lower triangle lands on the unique block
+//    containing its pair;
+//  * the m diagonal blocks (i, i) are Hall-assigned to processors with
+//    i ∈ R_p (for projective planes m == P and each processor gets
+//    exactly one);
+//  * row block i of the vectors is split across the Q_i = λ₁ processors
+//    that require it.
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/pair_system.hpp"
+
+namespace sttsv::matrix {
+
+struct MatBlockCoord {
+  std::size_t i = 0;
+  std::size_t j = 0;  // i >= j
+
+  friend bool operator==(const MatBlockCoord&, const MatBlockCoord&) =
+      default;
+  friend auto operator<=>(const MatBlockCoord&, const MatBlockCoord&) =
+      default;
+};
+
+/// Contiguous slice of a row block owned by one processor.
+struct MatShare {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+class TrianglePartition {
+ public:
+  /// Builds from a pair system (copied in); requires m <= P.
+  static TrianglePartition build(PairSystem system, std::size_t n);
+
+  [[nodiscard]] const PairSystem& system() const { return sys_; }
+  [[nodiscard]] std::size_t num_processors() const;
+  [[nodiscard]] std::size_t num_row_blocks() const;
+  [[nodiscard]] std::size_t logical_n() const { return n_; }
+  [[nodiscard]] std::size_t block_length_b() const { return b_; }
+  [[nodiscard]] std::size_t padded_n() const { return b_ * sys_.num_points(); }
+
+  [[nodiscard]] const std::vector<std::size_t>& R(std::size_t p) const;
+  [[nodiscard]] const std::vector<std::size_t>& Q(std::size_t i) const;
+
+  /// Diagonal blocks assigned to p (indices i with block (i,i) at p).
+  [[nodiscard]] const std::vector<std::size_t>& diagonals(
+      std::size_t p) const;
+
+  /// All blocks owned by p: TB₂(R_p) plus its diagonal blocks, sorted.
+  [[nodiscard]] std::vector<MatBlockCoord> owned_blocks(std::size_t p) const;
+
+  /// Owner of an arbitrary lower-triangle block.
+  [[nodiscard]] std::size_t owner(const MatBlockCoord& c) const;
+
+  /// Share of row block i owned by p ∈ Q_i (round-robin split of b).
+  [[nodiscard]] MatShare share(std::size_t row_block, std::size_t p) const;
+
+  /// Full validation (coverage, compatibility, share tiling).
+  void validate() const;
+
+ private:
+  TrianglePartition(PairSystem system, std::size_t n);
+
+  PairSystem sys_;
+  std::size_t n_;
+  std::size_t b_;
+  std::vector<std::vector<std::size_t>> diag_;   // per processor
+  std::vector<std::size_t> diag_owner_;          // per row block
+};
+
+}  // namespace sttsv::matrix

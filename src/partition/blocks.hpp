@@ -1,0 +1,54 @@
+#pragma once
+// Block-index level concepts of Section 6: the tensor is tiled into
+// m³ blocks of size b×b×b; only blocks with sorted index (i >= j >= k)
+// in the lower tetrahedron are materialized. Blocks are classified as
+// off-diagonal (i > j > k), non-central diagonal (exactly two equal),
+// or central diagonal (i == j == k).
+
+#include <cstddef>
+#include <vector>
+
+namespace sttsv::partition {
+
+/// Coordinates of a lower-tetrahedral block: i >= j >= k, all < m.
+struct BlockCoord {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t k = 0;
+
+  friend bool operator==(const BlockCoord&, const BlockCoord&) = default;
+  friend auto operator<=>(const BlockCoord&, const BlockCoord&) = default;
+};
+
+enum class BlockType {
+  kOffDiagonal,         // i > j > k
+  kNonCentralDiagonal,  // exactly two indices equal
+  kCentralDiagonal,     // i == j == k
+};
+
+/// Classifies a sorted block coordinate (throws on unsorted input).
+BlockType classify(const BlockCoord& c);
+
+/// TB₃(R) (paper Section 6): all {(i,j,k) : i > j > k, i,j,k ∈ R}, sorted.
+/// R must be strictly increasing.
+std::vector<BlockCoord> tetrahedral_block(const std::vector<std::size_t>& R);
+
+/// All lower-tetrahedral block coordinates for m row blocks, sorted;
+/// m(m+1)(m+2)/6 of them. Intended for validation sweeps at modest m.
+std::vector<BlockCoord> all_lower_blocks(std::size_t m);
+
+/// Counts from Section 6.1: off-diagonal m(m-1)(m-2)/6, non-central
+/// diagonal m(m-1), central diagonal m.
+std::size_t num_off_diagonal_blocks(std::size_t m);
+std::size_t num_non_central_diagonal_blocks(std::size_t m);
+std::size_t num_central_diagonal_blocks(std::size_t m);
+
+/// Entry counts per block type for block edge length b (Section 6.1.3):
+/// off-diagonal blocks hold b³ lower-tetra entries, non-central diagonal
+/// blocks b²(b+1)/2, central diagonal blocks b(b+1)(b+2)/6.
+std::size_t entries_in_block(BlockType type, std::size_t b);
+
+/// Ternary multiplications Algorithm 5 performs per block (Section 7.1).
+std::size_t ternary_mults_in_block(BlockType type, std::size_t b);
+
+}  // namespace sttsv::partition

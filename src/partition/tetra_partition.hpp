@@ -1,0 +1,86 @@
+#pragma once
+// The tetrahedral block partition of Section 6: given a Steiner (m, r, 3)
+// system with P blocks, assign every lower-tetrahedral b×b×b block of the
+// symmetric tensor to exactly one of P processors such that
+//
+//   * processor p owns TB₃(R_p) (all off-diagonal blocks within its
+//     Steiner subset R_p)                                   — Section 6.1.1,
+//   * non-central diagonal blocks (a,a,b)/(a,b,b) go to a processor whose
+//     R_p contains both a and b, balanced via Hall quotas    — Section 6.1.3,
+//   * central diagonal blocks (a,a,a) go to a processor with a ∈ R_p,
+//     at most one each, via a Hall matching                  — Section 6.1.3.
+//
+// The upshot (paper): computations of every owned block touch only row
+// blocks x[i], y[i] with i ∈ R_p, so no tensor data and no extra vector row
+// blocks are ever communicated.
+
+#include <cstddef>
+#include <vector>
+
+#include "partition/blocks.hpp"
+#include "steiner/steiner.hpp"
+
+namespace sttsv::partition {
+
+class TetraPartition {
+ public:
+  /// Builds the partition from a Steiner system (copied in).
+  /// Requires m <= P so central diagonal blocks fit one-per-processor.
+  static TetraPartition build(steiner::SteinerSystem system);
+
+  [[nodiscard]] const steiner::SteinerSystem& system() const { return sys_; }
+  [[nodiscard]] std::size_t num_processors() const;      // P (= #blocks)
+  [[nodiscard]] std::size_t num_row_blocks() const;      // m
+  [[nodiscard]] std::size_t steiner_block_size() const;  // r = |R_p|
+
+  /// R_p: the Steiner subset of row-block indices owned by processor p.
+  [[nodiscard]] const std::vector<std::size_t>& R(std::size_t p) const;
+
+  /// N_p: non-central diagonal blocks assigned to p.
+  [[nodiscard]] const std::vector<BlockCoord>& N(std::size_t p) const;
+
+  /// D_p: central diagonal blocks assigned to p (zero or more; exactly
+  /// zero-or-one when m <= P, which build() enforces).
+  [[nodiscard]] const std::vector<BlockCoord>& D(std::size_t p) const;
+
+  /// Q_i: sorted processors requiring row block i (those with i ∈ R_p).
+  [[nodiscard]] const std::vector<std::size_t>& Q(std::size_t i) const;
+
+  /// All blocks owned by p: TB₃(R_p) ∪ N_p ∪ D_p, sorted.
+  [[nodiscard]] std::vector<BlockCoord> owned_blocks(std::size_t p) const;
+
+  /// Owner of an arbitrary lower-tetra block coordinate.
+  [[nodiscard]] std::size_t owner(const BlockCoord& c) const;
+
+  /// Stored lower-tetra tensor entries of processor p for block edge b
+  /// (Section 6.1.3 storage bound ≈ n³/(6P)).
+  [[nodiscard]] std::size_t stored_entries(std::size_t p,
+                                           std::size_t b) const;
+
+  /// Ternary multiplications processor p performs for block edge b
+  /// (Section 7.1).
+  [[nodiscard]] std::size_t ternary_mults(std::size_t p,
+                                          std::size_t b) const;
+
+  /// Exhaustive validation: every lower-tetra block owned exactly once,
+  /// each owner compatible (its R_p contains the distinct indices of the
+  /// block), |N_p| quotas within ±ceil bound, |D_p| <= 1, Q consistency.
+  void validate() const;
+
+ private:
+  explicit TetraPartition(steiner::SteinerSystem system);
+
+  void assign_non_central_diagonals();
+  void assign_central_diagonals();
+
+  steiner::SteinerSystem sys_;
+  std::size_t nc_quota_ = 0;  // per-processor cap achieved by the flow
+  std::vector<std::vector<BlockCoord>> N_;
+  std::vector<std::vector<BlockCoord>> D_;
+  // Owner lookup for diagonal blocks: pair (a > b) -> processor.
+  std::vector<std::size_t> aab_owner_;  // block (a,a,b), index a*m+b
+  std::vector<std::size_t> abb_owner_;  // block (a,b,b), index a*m+b
+  std::vector<std::size_t> central_owner_;  // block (a,a,a), index a
+};
+
+}  // namespace sttsv::partition

@@ -1,0 +1,103 @@
+#include "partition/vector_distribution.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace sttsv::partition {
+
+VectorDistribution::VectorDistribution(const TetraPartition& part,
+                                       std::size_t n)
+    : part_(&part),
+      n_(n),
+      m_(part.num_row_blocks()),
+      P_(part.num_processors()),
+      b_((n + m_ - 1) / m_) {
+  STTSV_REQUIRE(n >= 1, "vector length must be >= 1");
+}
+
+Share VectorDistribution::share(std::size_t row_block, std::size_t p) const {
+  const std::size_t pos = rank_in_block(row_block, p);
+  const auto& Qi = part_->Q(row_block);
+  const std::size_t w = Qi.size();
+  const std::size_t base = b_ / w;
+  const std::size_t extra = b_ % w;
+  // First `extra` requirers get base+1 elements.
+  const std::size_t offset = pos * base + std::min(pos, extra);
+  const std::size_t length = base + (pos < extra ? 1 : 0);
+  return Share{offset, length};
+}
+
+std::size_t VectorDistribution::owner_in_block(std::size_t row_block,
+                                               std::size_t offset) const {
+  STTSV_REQUIRE(offset < b_, "offset beyond row block");
+  const auto& Qi = part_->Q(row_block);
+  const std::size_t w = Qi.size();
+  const std::size_t base = b_ / w;
+  const std::size_t extra = b_ % w;
+  // Invert the share() layout.
+  std::size_t pos;
+  if (offset < extra * (base + 1)) {
+    pos = offset / (base + 1);
+  } else {
+    STTSV_CHECK(base > 0, "zero-length shares cannot own offsets");
+    pos = extra + (offset - extra * (base + 1)) / base;
+  }
+  return Qi[pos];
+}
+
+std::size_t VectorDistribution::owner_of(std::size_t global_index) const {
+  STTSV_REQUIRE(global_index < padded_n(), "global index out of range");
+  return owner_in_block(global_index / b_, global_index % b_);
+}
+
+std::size_t VectorDistribution::local_elements(std::size_t p) const {
+  std::size_t total = 0;
+  for (const std::size_t i : part_->R(p)) {
+    total += share(i, p).length;
+  }
+  return total;
+}
+
+const std::vector<std::size_t>& VectorDistribution::required_blocks(
+    std::size_t p) const {
+  return part_->R(p);
+}
+
+const std::vector<std::size_t>& VectorDistribution::requirers(
+    std::size_t i) const {
+  return part_->Q(i);
+}
+
+std::size_t VectorDistribution::rank_in_block(std::size_t row_block,
+                                              std::size_t p) const {
+  const auto& Qi = part_->Q(row_block);
+  const auto it = std::lower_bound(Qi.begin(), Qi.end(), p);
+  STTSV_REQUIRE(it != Qi.end() && *it == p,
+                "processor does not require this row block");
+  return static_cast<std::size_t>(it - Qi.begin());
+}
+
+void VectorDistribution::validate() const {
+  // Shares of each row block tile [0, b) exactly.
+  for (std::size_t i = 0; i < m_; ++i) {
+    std::size_t cursor = 0;
+    for (const std::size_t p : part_->Q(i)) {
+      const Share s = share(i, p);
+      STTSV_CHECK(s.offset == cursor, "share gap or overlap");
+      cursor += s.length;
+      // Round-trip through owner_in_block.
+      for (std::size_t off = s.offset; off < s.offset + s.length; ++off) {
+        STTSV_CHECK(owner_in_block(i, off) == p, "owner lookup mismatch");
+      }
+    }
+    STTSV_CHECK(cursor == b_, "shares do not cover the row block");
+  }
+  // Per-processor totals sum to the padded vector length (each element
+  // owned exactly once is implied by the tiling above).
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < P_; ++p) total += local_elements(p);
+  STTSV_CHECK(total == padded_n(), "local element totals mismatch");
+}
+
+}  // namespace sttsv::partition

@@ -1,0 +1,74 @@
+#pragma once
+// Distribution of the vectors x and y over processors (Section 6.1.2):
+// the (possibly padded) vector of length n' = b·m is cut into m row blocks
+// of length b; row block i is split evenly across the processors Q_i that
+// need it, so each processor starts with exactly Σ_{i∈R_p} b/|Q_i| ≈ n/P
+// elements of x and ends with the same share of y.
+
+#include <cstddef>
+#include <vector>
+
+#include "partition/tetra_partition.hpp"
+
+namespace sttsv::partition {
+
+/// A contiguous slice of a row block: [offset, offset + length) within the
+/// b-length block.
+struct Share {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+class VectorDistribution {
+ public:
+  /// Lays out a vector of logical length n over the given partition.
+  /// If m does not divide n the vector is padded to the next multiple
+  /// (paper Section 6.1: pad the tensor/vector, b = n'/m).
+  VectorDistribution(const TetraPartition& part, std::size_t n);
+
+  [[nodiscard]] std::size_t logical_n() const { return n_; }
+  [[nodiscard]] std::size_t padded_n() const { return b_ * m_; }
+  [[nodiscard]] std::size_t block_length_b() const { return b_; }
+  [[nodiscard]] std::size_t num_row_blocks() const { return m_; }
+  [[nodiscard]] std::size_t num_processors() const { return P_; }
+
+  /// The slice of row block i owned by processor p; p must be in Q_i.
+  /// When b is not divisible by |Q_i| the first b mod |Q_i| members get
+  /// one extra element.
+  [[nodiscard]] Share share(std::size_t row_block, std::size_t p) const;
+
+  /// Owner of element `offset` within row block i.
+  [[nodiscard]] std::size_t owner_in_block(std::size_t row_block,
+                                           std::size_t offset) const;
+
+  /// Owner of a global (padded) vector index.
+  [[nodiscard]] std::size_t owner_of(std::size_t global_index) const;
+
+  /// Elements of one vector owned by processor p (= Σ_{i∈R_p} share).
+  [[nodiscard]] std::size_t local_elements(std::size_t p) const;
+
+  /// Row blocks required by p, i.e. R_p (ascending).
+  [[nodiscard]] const std::vector<std::size_t>& required_blocks(
+      std::size_t p) const;
+
+  /// Processors requiring row block i, i.e. Q_i (ascending).
+  [[nodiscard]] const std::vector<std::size_t>& requirers(
+      std::size_t i) const;
+
+  /// Position of p within Q_i (its rank among the requirers); p ∈ Q_i.
+  [[nodiscard]] std::size_t rank_in_block(std::size_t row_block,
+                                          std::size_t p) const;
+
+  /// Sanity: shares of each row block tile [0, b) without gaps/overlap and
+  /// per-processor totals match. Throws on violation.
+  void validate() const;
+
+ private:
+  const TetraPartition* part_;
+  std::size_t n_;
+  std::size_t m_;
+  std::size_t P_;
+  std::size_t b_;
+};
+
+}  // namespace sttsv::partition

@@ -1,0 +1,100 @@
+#include "projective/projective_line.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace sttsv::proj {
+
+ProjectiveLine::ProjectiveLine(std::shared_ptr<const gf::FieldTable> field)
+    : field_(std::move(field)) {
+  STTSV_REQUIRE(field_ != nullptr, "ProjectiveLine needs a field");
+}
+
+ProjectiveLine ProjectiveLine::over_order(std::uint64_t q) {
+  return ProjectiveLine(
+      std::make_shared<const gf::FieldTable>(gf::FieldTable::make_order(q)));
+}
+
+std::size_t ProjectiveLine::num_points() const {
+  return static_cast<std::size_t>(field_->order()) + 1;
+}
+
+std::size_t ProjectiveLine::infinity() const {
+  return static_cast<std::size_t>(field_->order());
+}
+
+bool ProjectiveLine::is_infinity(std::size_t point) const {
+  return point == infinity();
+}
+
+bool ProjectiveLine::is_invertible(const Mobius& m) const {
+  const auto& K = *field_;
+  return K.sub(K.mul(m.a, m.d), K.mul(m.b, m.c)) != 0;
+}
+
+std::size_t ProjectiveLine::apply(const Mobius& m, std::size_t point) const {
+  const auto& K = *field_;
+  STTSV_DCHECK(point < num_points(), "point out of range");
+  if (is_infinity(point)) {
+    // m(∞) = a/c, or ∞ if c == 0.
+    if (m.c == 0) return infinity();
+    return static_cast<std::size_t>(K.div(m.a, m.c));
+  }
+  const std::uint64_t z = point;
+  const std::uint64_t denom = K.add(K.mul(m.c, z), m.d);
+  if (denom == 0) return infinity();
+  const std::uint64_t numer = K.add(K.mul(m.a, z), m.b);
+  return static_cast<std::size_t>(K.div(numer, denom));
+}
+
+std::vector<std::size_t> ProjectiveLine::apply_to_block(
+    const Mobius& m, const std::vector<std::size_t>& block) const {
+  std::vector<std::size_t> image;
+  image.reserve(block.size());
+  for (const auto pt : block) image.push_back(apply(m, pt));
+  std::sort(image.begin(), image.end());
+  STTSV_DCHECK(std::adjacent_find(image.begin(), image.end()) == image.end(),
+               "Möbius image collapsed two points (non-invertible map?)");
+  return image;
+}
+
+Mobius ProjectiveLine::compose(const Mobius& m1, const Mobius& m2) const {
+  const auto& K = *field_;
+  // Matrix product m1 * m2.
+  return Mobius{
+      K.add(K.mul(m1.a, m2.a), K.mul(m1.b, m2.c)),
+      K.add(K.mul(m1.a, m2.b), K.mul(m1.b, m2.d)),
+      K.add(K.mul(m1.c, m2.a), K.mul(m1.d, m2.c)),
+      K.add(K.mul(m1.c, m2.b), K.mul(m1.d, m2.d)),
+  };
+}
+
+Mobius ProjectiveLine::inverse(const Mobius& m) const {
+  const auto& K = *field_;
+  STTSV_REQUIRE(is_invertible(m), "Möbius transform not invertible");
+  // Up to the (irrelevant) scalar det, the inverse is [[d,-b],[-c,a]].
+  return Mobius{m.d, K.neg(m.b), K.neg(m.c), m.a};
+}
+
+std::vector<Mobius> ProjectiveLine::standard_generators() const {
+  const auto& K = *field_;
+  std::vector<Mobius> gens;
+  gens.push_back(Mobius{1, 1, 0, 1});              // z -> z + 1
+  gens.push_back(Mobius{K.generator(), 0, 0, 1});  // z -> g z
+  gens.push_back(Mobius{0, 1, 1, 0});              // z -> 1 / z
+  for (const auto& g : gens) {
+    STTSV_CHECK(is_invertible(g), "standard generator not invertible");
+  }
+  return gens;
+}
+
+std::vector<std::size_t> ProjectiveLine::subline(std::uint64_t s) const {
+  const auto elems = field_->subfield(s);
+  std::vector<std::size_t> pts(elems.begin(), elems.end());
+  pts.push_back(infinity());
+  std::sort(pts.begin(), pts.end());
+  return pts;
+}
+
+}  // namespace sttsv::proj

@@ -1,0 +1,68 @@
+#pragma once
+// The projective line PG(1, q) = F_q ∪ {∞} and the action of PGL₂(q)
+// by Möbius transformations. This is the geometry behind the paper's
+// Theorem 6.5: the PGL₂(q^α) orbit of the subline F_q ∪ {∞} is a
+// Steiner (q^α + 1, q + 1, 3) system.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gf/field_table.hpp"
+
+namespace sttsv::proj {
+
+/// A Möbius transformation z -> (a z + b) / (c z + d) with ad - bc != 0,
+/// entries packed GF(q) elements. Equality is up to scalar multiples only
+/// when canonicalized by the caller; we use these purely as group actions.
+struct Mobius {
+  std::uint64_t a = 1;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::uint64_t d = 1;
+};
+
+class ProjectiveLine {
+ public:
+  /// Shares ownership of the field so lines are cheap to copy.
+  explicit ProjectiveLine(std::shared_ptr<const gf::FieldTable> field);
+
+  /// Convenience: builds GF(q) internally.
+  static ProjectiveLine over_order(std::uint64_t q);
+
+  [[nodiscard]] const gf::FieldTable& field() const { return *field_; }
+
+  /// Points are indices 0..q: index v < q is the field element v,
+  /// index q is the point at infinity.
+  [[nodiscard]] std::size_t num_points() const;
+  [[nodiscard]] std::size_t infinity() const;
+  [[nodiscard]] bool is_infinity(std::size_t point) const;
+
+  /// True iff ad - bc != 0 in the field.
+  [[nodiscard]] bool is_invertible(const Mobius& m) const;
+
+  /// Applies m to a point (handles the ∞ cases of the Möbius action).
+  [[nodiscard]] std::size_t apply(const Mobius& m, std::size_t point) const;
+
+  /// Applies m to every point of a block, returning the sorted image.
+  [[nodiscard]] std::vector<std::size_t> apply_to_block(
+      const Mobius& m, const std::vector<std::size_t>& block) const;
+
+  /// Composition: (m1 ∘ m2)(z) = m1(m2(z)).
+  [[nodiscard]] Mobius compose(const Mobius& m1, const Mobius& m2) const;
+
+  [[nodiscard]] Mobius inverse(const Mobius& m) const;
+
+  /// A generating set of PGL₂(q): z -> z+1, z -> g·z (g primitive),
+  /// z -> 1/z. Sufficient for orbit enumeration by BFS.
+  [[nodiscard]] std::vector<Mobius> standard_generators() const;
+
+  /// The subline F_s ∪ {∞} as sorted point indices; s must be a subfield
+  /// order of the line's field.
+  [[nodiscard]] std::vector<std::size_t> subline(std::uint64_t s) const;
+
+ private:
+  std::shared_ptr<const gf::FieldTable> field_;
+};
+
+}  // namespace sttsv::proj

@@ -1,0 +1,132 @@
+#include "schedule/comm_schedule.hpp"
+
+#include <algorithm>
+
+#include "graph/bipartite.hpp"
+#include "graph/matching.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::schedule {
+
+std::size_t pair_weight(const partition::TetraPartition& part,
+                        std::size_t p, std::size_t peer) {
+  if (p == peer) return 0;
+  const auto& a = part.R(p);
+  const auto& b = part.R(peer);
+  std::size_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  STTSV_CHECK(count <= 2,
+              "two Steiner blocks share at most two points");
+  return count;
+}
+
+PartnerProfile partner_profile(const partition::TetraPartition& part,
+                               std::size_t p) {
+  PartnerProfile prof;
+  for (std::size_t peer = 0; peer < part.num_processors(); ++peer) {
+    const std::size_t w = pair_weight(part, p, peer);
+    if (w == 2) ++prof.two_block_partners;
+    if (w == 1) ++prof.one_block_partners;
+  }
+  return prof;
+}
+
+bool Round::is_valid_step() const {
+  std::vector<bool> receives(send_to.size(), false);
+  for (std::size_t p = 0; p < send_to.size(); ++p) {
+    const std::size_t dest = send_to[p];
+    if (dest == graph::kNone) continue;
+    if (dest >= send_to.size() || dest == p) return false;
+    if (receives[dest]) return false;  // two messages into one rank
+    receives[dest] = true;
+  }
+  return true;
+}
+
+namespace {
+
+/// Decomposes the weight-w partner digraph (bipartite double cover) into
+/// rounds; the graph must be regular (it is, for Steiner partitions).
+void append_rounds(const partition::TetraPartition& part, std::size_t w,
+                   std::vector<Round>& rounds) {
+  const std::size_t P = part.num_processors();
+  graph::BipartiteGraph g(P, P);
+  std::size_t degree = 0;
+  for (std::size_t p = 0; p < P; ++p) {
+    std::size_t deg_p = 0;
+    for (std::size_t peer = 0; peer < P; ++peer) {
+      if (pair_weight(part, p, peer) == w) {
+        g.add_edge(p, peer);
+        ++deg_p;
+      }
+    }
+    if (p == 0) {
+      degree = deg_p;
+    } else {
+      STTSV_CHECK(deg_p == degree, "partner graph not regular");
+    }
+  }
+  if (degree == 0) return;
+  for (const graph::Matching& m : graph::matching_decomposition(g)) {
+    Round round;
+    round.blocks_per_message = w;
+    round.send_to.assign(P, graph::kNone);
+    for (std::size_t p = 0; p < P; ++p) {
+      round.send_to[p] = m.right_of(g, p);
+    }
+    STTSV_CHECK(round.is_valid_step(), "decomposition produced bad step");
+    rounds.push_back(std::move(round));
+  }
+}
+
+}  // namespace
+
+CommSchedule build_schedule(const partition::TetraPartition& part) {
+  CommSchedule sched;
+  const std::size_t before_two = sched.rounds_.size();
+  append_rounds(part, 2, sched.rounds_);
+  sched.two_rounds_ = sched.rounds_.size() - before_two;
+  const std::size_t before_one = sched.rounds_.size();
+  append_rounds(part, 1, sched.rounds_);
+  sched.one_rounds_ = sched.rounds_.size() - before_one;
+  return sched;
+}
+
+void CommSchedule::validate(const partition::TetraPartition& part) const {
+  const std::size_t P = part.num_processors();
+  // covered[p * P + peer] counts rounds in which p sends to peer.
+  std::vector<std::size_t> covered(P * P, 0);
+  for (const Round& round : rounds_) {
+    STTSV_CHECK(round.send_to.size() == P, "round has wrong width");
+    STTSV_CHECK(round.is_valid_step(), "invalid communication step");
+    for (std::size_t p = 0; p < P; ++p) {
+      const std::size_t dest = round.send_to[p];
+      if (dest == graph::kNone) continue;
+      STTSV_CHECK(pair_weight(part, p, dest) == round.blocks_per_message,
+                  "message class does not match pair weight");
+      ++covered[p * P + dest];
+    }
+  }
+  for (std::size_t p = 0; p < P; ++p) {
+    for (std::size_t peer = 0; peer < P; ++peer) {
+      const std::size_t w = pair_weight(part, p, peer);
+      const std::size_t expected = w > 0 ? 1 : 0;
+      STTSV_CHECK(covered[p * P + peer] == expected,
+                  "ordered pair not scheduled exactly once");
+    }
+  }
+}
+
+}  // namespace sttsv::schedule

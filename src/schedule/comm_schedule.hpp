@@ -1,0 +1,71 @@
+#pragma once
+// Explicit point-to-point communication schedules (paper Section 7.2.2,
+// Theorem 7.2.2, and the Figure 1 example).
+//
+// In Algorithm 5 every ordered processor pair (p, p') with
+// |R_p ∩ R_p'| = w > 0 exchanges exactly one message per vector carrying
+// w row-block shares (w ∈ {1, 2}: two Steiner blocks meet in at most two
+// points). Both the "two-block" and "one-block" partner graphs are
+// regular, so each decomposes into perfect matchings (rounds) by König:
+// in every round each processor sends one message and receives one.
+//
+// Round totals: q²(q+1)/2 two-block rounds + (q²-1) one-block rounds
+// = q³/2 + 3q²/2 - 1 per vector for the spherical family — fewer than the
+// P-1 steps an All-to-All collective needs.
+
+#include <cstddef>
+#include <vector>
+
+#include "partition/tetra_partition.hpp"
+
+namespace sttsv::schedule {
+
+/// One communication step: send_to[p] is the destination of processor p's
+/// message in this round (kNone if p is idle), blocks_per_message is the
+/// number of row-block shares each message in this round carries.
+struct Round {
+  std::vector<std::size_t> send_to;
+  std::size_t blocks_per_message = 0;
+
+  /// True iff send_to restricted to non-idle entries is injective and no
+  /// processor both stays idle as sender but appears as receiver twice.
+  [[nodiscard]] bool is_valid_step() const;
+};
+
+struct PartnerProfile {
+  std::size_t two_block_partners = 0;
+  std::size_t one_block_partners = 0;
+};
+
+/// Partner counts of processor p (paper: q²(q+1)/2 and q²-1 for the
+/// spherical family).
+PartnerProfile partner_profile(const partition::TetraPartition& part,
+                               std::size_t p);
+
+class CommSchedule {
+ public:
+  [[nodiscard]] const std::vector<Round>& rounds() const { return rounds_; }
+  [[nodiscard]] std::size_t num_rounds() const { return rounds_.size(); }
+  [[nodiscard]] std::size_t two_block_rounds() const { return two_rounds_; }
+  [[nodiscard]] std::size_t one_block_rounds() const { return one_rounds_; }
+
+  /// Checks that every ordered pair with weight w appears in exactly one
+  /// round of message class w, and every round is a valid step.
+  void validate(const partition::TetraPartition& part) const;
+
+  friend CommSchedule build_schedule(const partition::TetraPartition& part);
+
+ private:
+  std::vector<Round> rounds_;
+  std::size_t two_rounds_ = 0;
+  std::size_t one_rounds_ = 0;
+};
+
+/// Builds the round schedule for one vector exchange of Algorithm 5.
+CommSchedule build_schedule(const partition::TetraPartition& part);
+
+/// |R_p ∩ R_peer| — row blocks the ordered pair exchanges (0, 1 or 2).
+std::size_t pair_weight(const partition::TetraPartition& part,
+                        std::size_t p, std::size_t peer);
+
+}  // namespace sttsv::schedule

@@ -1,0 +1,63 @@
+#include "simt/collective.hpp"
+
+#include "support/check.hpp"
+
+namespace sttsv::simt {
+
+std::vector<double> allreduce_sum(
+    Machine& machine,
+    const std::vector<std::vector<double>>& contributions) {
+  const std::size_t P = machine.num_ranks();
+  STTSV_REQUIRE(contributions.size() == P,
+                "one contribution per rank required");
+  const std::size_t L = contributions.empty() ? 0 : contributions[0].size();
+  for (const auto& c : contributions) {
+    STTSV_REQUIRE(c.size() == L, "contribution lengths must match");
+  }
+  if (L == 0) return {};
+
+  // Working copy of each rank's partial.
+  std::vector<std::vector<double>> partial(contributions);
+
+  // Binomial reduce toward rank 0: at step s, ranks with (p % 2s) == s
+  // send their partial to p - s.
+  for (std::size_t s = 1; s < P; s *= 2) {
+    std::vector<std::vector<Envelope>> out(P);
+    for (std::size_t p = 0; p < P; ++p) {
+      if (p % (2 * s) == s) {
+        out[p].push_back(Envelope{p - s, partial[p]});
+      }
+    }
+    auto in = machine.exchange(std::move(out), Transport::kPointToPoint);
+    for (std::size_t p = 0; p < P; ++p) {
+      for (const Delivery& d : in[p]) {
+        for (std::size_t i = 0; i < L; ++i) partial[p][i] += d.data[i];
+      }
+    }
+  }
+
+  // Binomial broadcast from rank 0.
+  std::size_t top = 1;
+  while (top < P) top *= 2;
+  for (std::size_t s = top / 2; s >= 1; s /= 2) {
+    std::vector<std::vector<Envelope>> out(P);
+    for (std::size_t p = 0; p < P; ++p) {
+      if (p % (2 * s) == 0 && p + s < P) {
+        out[p].push_back(Envelope{p + s, partial[p]});
+      }
+    }
+    auto in = machine.exchange(std::move(out), Transport::kPointToPoint);
+    for (std::size_t p = 0; p < P; ++p) {
+      for (Delivery& d : in[p]) partial[p] = std::move(d.data);
+    }
+    if (s == 1) break;
+  }
+
+  // All ranks now hold the same sum.
+  for (std::size_t p = 1; p < P; ++p) {
+    STTSV_DCHECK(partial[p] == partial[0], "allreduce divergence");
+  }
+  return partial[0];
+}
+
+}  // namespace sttsv::simt

@@ -1,0 +1,98 @@
+#include "simt/ledger.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace sttsv::simt {
+
+namespace {
+std::uint64_t pair_key(std::size_t from, std::size_t to) {
+  return (static_cast<std::uint64_t>(from) << 32) |
+         static_cast<std::uint64_t>(to);
+}
+}  // namespace
+
+CommLedger::CommLedger(std::size_t num_ranks)
+    : sent_(num_ranks, 0),
+      received_(num_ranks, 0),
+      msg_sent_(num_ranks, 0),
+      msg_received_(num_ranks, 0) {
+  STTSV_REQUIRE(num_ranks >= 1, "ledger needs at least one rank");
+  STTSV_REQUIRE(num_ranks < (1ULL << 32), "too many ranks for pair keys");
+}
+
+void CommLedger::record_message(std::size_t from, std::size_t to,
+                                std::size_t words) {
+  STTSV_REQUIRE(from < sent_.size() && to < sent_.size(),
+                "rank out of range");
+  STTSV_REQUIRE(from != to, "self-messages are local copies, not comm");
+  sent_[from] += words;
+  received_[to] += words;
+  ++msg_sent_[from];
+  ++msg_received_[to];
+  pair_[pair_key(from, to)] += words;
+}
+
+void CommLedger::add_rounds(std::size_t k) { rounds_ += k; }
+
+void CommLedger::add_modeled_collective_words(std::size_t words_per_rank) {
+  modeled_words_ += words_per_rank;
+}
+
+std::uint64_t CommLedger::words_sent(std::size_t rank) const {
+  STTSV_REQUIRE(rank < sent_.size(), "rank out of range");
+  return sent_[rank];
+}
+
+std::uint64_t CommLedger::words_received(std::size_t rank) const {
+  STTSV_REQUIRE(rank < received_.size(), "rank out of range");
+  return received_[rank];
+}
+
+std::uint64_t CommLedger::messages_sent(std::size_t rank) const {
+  STTSV_REQUIRE(rank < msg_sent_.size(), "rank out of range");
+  return msg_sent_[rank];
+}
+
+std::uint64_t CommLedger::messages_received(std::size_t rank) const {
+  STTSV_REQUIRE(rank < msg_received_.size(), "rank out of range");
+  return msg_received_[rank];
+}
+
+std::uint64_t CommLedger::max_words_sent() const {
+  return *std::max_element(sent_.begin(), sent_.end());
+}
+
+std::uint64_t CommLedger::max_words_received() const {
+  return *std::max_element(received_.begin(), received_.end());
+}
+
+std::uint64_t CommLedger::total_words() const {
+  std::uint64_t total = 0;
+  for (const auto w : sent_) total += w;
+  return total;
+}
+
+std::uint64_t CommLedger::total_messages() const {
+  std::uint64_t total = 0;
+  for (const auto m : msg_sent_) total += m;
+  return total;
+}
+
+std::uint64_t CommLedger::pair_words(std::size_t from, std::size_t to) const {
+  const auto it = pair_.find(pair_key(from, to));
+  return it == pair_.end() ? 0 : it->second;
+}
+
+void CommLedger::verify_conservation() const {
+  std::uint64_t s = 0;
+  std::uint64_t r = 0;
+  for (std::size_t p = 0; p < sent_.size(); ++p) {
+    s += sent_[p];
+    r += received_[p];
+  }
+  STTSV_CHECK(s == r, "ledger conservation violated (sent != received)");
+}
+
+}  // namespace sttsv::simt

@@ -1,0 +1,73 @@
+#pragma once
+// Communication accounting for the simulated α-β-γ machine.
+//
+// "Words" are vector/tensor elements (doubles), matching the unit of the
+// paper's bounds. The ledger tracks, per rank: words and messages sent and
+// received, plus per-pair traffic, plus two cost models:
+//
+//  * measured words: what was actually placed on the network;
+//  * modeled collective words: the paper's Section 7.2.2 accounting, where
+//    a bandwidth-optimal All-to-All takes P-1 steps each costing the
+//    maximum per-pair message size (so empty slots still pay).
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace sttsv::simt {
+
+class CommLedger {
+ public:
+  explicit CommLedger(std::size_t num_ranks);
+
+  void record_message(std::size_t from, std::size_t to, std::size_t words);
+
+  /// Adds k communication rounds (steps in the paper's sense: in one round
+  /// a rank sends at most one message and receives at most one).
+  void add_rounds(std::size_t k);
+
+  /// Adds modeled collective cost: per-rank words the paper's model charges
+  /// for a collective phase (e.g. (P-1) * max message size for All-to-All).
+  void add_modeled_collective_words(std::size_t words_per_rank);
+
+  [[nodiscard]] std::size_t num_ranks() const { return sent_.size(); }
+
+  [[nodiscard]] std::uint64_t words_sent(std::size_t rank) const;
+  [[nodiscard]] std::uint64_t words_received(std::size_t rank) const;
+  [[nodiscard]] std::uint64_t messages_sent(std::size_t rank) const;
+  [[nodiscard]] std::uint64_t messages_received(std::size_t rank) const;
+
+  /// max_p (words sent by p + nothing else): the paper's "number of words
+  /// sent or received by any processor" uses max over ranks of send (==
+  /// receive for our symmetric exchanges); expose both.
+  [[nodiscard]] std::uint64_t max_words_sent() const;
+  [[nodiscard]] std::uint64_t max_words_received() const;
+  [[nodiscard]] std::uint64_t total_words() const;
+  [[nodiscard]] std::uint64_t total_messages() const;
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+  [[nodiscard]] std::uint64_t modeled_collective_words() const {
+    return modeled_words_;
+  }
+
+  /// Words sent from -> to so far (0 if never communicated).
+  [[nodiscard]] std::uint64_t pair_words(std::size_t from,
+                                         std::size_t to) const;
+
+  /// Distinct ordered pairs that exchanged at least one word.
+  [[nodiscard]] std::size_t active_pairs() const { return pair_.size(); }
+
+  /// Conservation check: Σ sent == Σ received (throws on violation).
+  void verify_conservation() const;
+
+ private:
+  std::vector<std::uint64_t> sent_;
+  std::vector<std::uint64_t> received_;
+  std::vector<std::uint64_t> msg_sent_;
+  std::vector<std::uint64_t> msg_received_;
+  std::unordered_map<std::uint64_t, std::uint64_t> pair_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t modeled_words_ = 0;
+};
+
+}  // namespace sttsv::simt

@@ -1,0 +1,68 @@
+#pragma once
+// A simulated distributed-memory machine in the α-β-γ (MPI) model of the
+// paper's Section 3.1: P ranks with private memories, a fully connected
+// network, at most one message sent and one received per rank per step.
+//
+// Substitution note (see DESIGN.md §2): there is no MPI runtime in this
+// environment. Algorithms execute in BSP-style supersteps — local compute
+// phases loop over ranks, communication phases are machine-wide exchanges.
+// The semantics (who knows what, when) are identical to the per-rank MPI
+// program, and the ledger counts exactly the words the α-β-γ model counts.
+
+#include <cstddef>
+#include <vector>
+
+#include "simt/ledger.hpp"
+
+namespace sttsv::simt {
+
+/// One outgoing message: destination rank plus payload words.
+struct Envelope {
+  std::size_t to = 0;
+  std::vector<double> data;
+};
+
+/// One delivered message: source rank plus payload words. Deliveries are
+/// handed to the receiver sorted by sender, so execution is deterministic.
+struct Delivery {
+  std::size_t from = 0;
+  std::vector<double> data;
+};
+
+/// How a communication phase is realized on the wire; affects the rounds
+/// and modeled-cost accounting (Section 7.2.2), not the delivered data.
+enum class Transport {
+  /// Direct point-to-point sends scheduled in König rounds: the number of
+  /// steps charged is the max over ranks of max(#sends, #receives), which
+  /// is achievable by edge coloring (paper Theorem 7.2.2 via Lemma 7.2.1).
+  kPointToPoint,
+  /// A bandwidth-optimal All-to-All collective: P-1 steps, each charged
+  /// the maximum per-pair buffer size (paper's "All-to-All collectives"
+  /// cost model at the end of Section 7.2.2).
+  kAllToAll,
+};
+
+class Machine {
+ public:
+  explicit Machine(std::size_t num_ranks);
+
+  [[nodiscard]] std::size_t num_ranks() const { return P_; }
+
+  /// Executes one machine-wide exchange: outboxes[p] holds rank p's
+  /// outgoing messages. Returns inboxes[p]. Ledger records every word;
+  /// rounds/modeled cost depend on the transport.
+  std::vector<std::vector<Delivery>> exchange(
+      std::vector<std::vector<Envelope>> outboxes, Transport transport);
+
+  [[nodiscard]] const CommLedger& ledger() const { return ledger_; }
+  CommLedger& ledger() { return ledger_; }
+
+  /// Resets accounting (e.g. to ignore a warm-up distribution phase).
+  void reset_ledger();
+
+ private:
+  std::size_t P_;
+  CommLedger ledger_;
+};
+
+}  // namespace sttsv::simt

@@ -1,0 +1,93 @@
+#include "steiner/isomorphism.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/bipartite.hpp"  // for kNone
+#include "support/check.hpp"
+
+namespace sttsv::steiner {
+
+namespace {
+
+constexpr std::size_t kUnset = graph::kNone;
+
+struct Search {
+  const SteinerSystem& a;
+  const std::set<std::vector<std::size_t>>& b_blocks;
+  std::size_t m;
+  PointPermutation image;       // a-point -> b-point or kUnset
+  std::vector<bool> used;       // b-point already an image
+
+  /// Every block of `a` whose points are all mapped must land on a block
+  /// of `b`.
+  [[nodiscard]] bool consistent() const {
+    for (const auto& blk : a.blocks()) {
+      std::vector<std::size_t> mapped;
+      bool complete = true;
+      for (const auto pt : blk) {
+        if (image[pt] == kUnset) {
+          complete = false;
+          break;
+        }
+        mapped.push_back(image[pt]);
+      }
+      if (!complete) continue;
+      std::sort(mapped.begin(), mapped.end());
+      if (b_blocks.count(mapped) == 0) return false;
+    }
+    return true;
+  }
+
+  bool extend(std::size_t next) {
+    if (next == m) return true;  // all points mapped, all blocks checked
+    for (std::size_t candidate = 0; candidate < m; ++candidate) {
+      if (used[candidate]) continue;
+      image[next] = candidate;
+      used[candidate] = true;
+      if (consistent() && extend(next + 1)) return true;
+      image[next] = kUnset;
+      used[candidate] = false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<PointPermutation> find_isomorphism(const SteinerSystem& a,
+                                                 const SteinerSystem& b) {
+  if (a.num_points() != b.num_points() ||
+      a.block_size() != b.block_size() ||
+      a.num_blocks() != b.num_blocks()) {
+    return std::nullopt;
+  }
+  std::set<std::vector<std::size_t>> b_blocks(b.blocks().begin(),
+                                              b.blocks().end());
+  Search search{a, b_blocks, a.num_points(),
+                PointPermutation(a.num_points(), kUnset),
+                std::vector<bool>(a.num_points(), false)};
+  if (search.extend(0)) return search.image;
+  return std::nullopt;
+}
+
+SteinerSystem relabel(const SteinerSystem& a, const PointPermutation& perm) {
+  STTSV_REQUIRE(perm.size() == a.num_points(),
+                "permutation must cover all points");
+  std::vector<std::vector<std::size_t>> blocks;
+  blocks.reserve(a.num_blocks());
+  for (const auto& blk : a.blocks()) {
+    std::vector<std::size_t> mapped;
+    mapped.reserve(blk.size());
+    for (const auto pt : blk) {
+      STTSV_REQUIRE(perm[pt] < a.num_points(), "permutation out of range");
+      mapped.push_back(perm[pt]);
+    }
+    std::sort(mapped.begin(), mapped.end());
+    blocks.push_back(std::move(mapped));
+  }
+  std::sort(blocks.begin(), blocks.end());
+  return SteinerSystem(a.num_points(), a.block_size(), std::move(blocks));
+}
+
+}  // namespace sttsv::steiner

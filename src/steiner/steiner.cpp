@@ -1,0 +1,110 @@
+#include "steiner/steiner.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace sttsv::steiner {
+
+SteinerSystem::SteinerSystem(std::size_t num_points, std::size_t block_size,
+                             std::vector<std::vector<std::size_t>> blocks)
+    : m_(num_points), r_(block_size), blocks_(std::move(blocks)) {
+  STTSV_REQUIRE(r_ >= 3, "block size must be >= 3 for a (m, r, 3) system");
+  STTSV_REQUIRE(m_ > r_, "need more points than one block");
+  for (const auto& blk : blocks_) {
+    STTSV_REQUIRE(blk.size() == r_, "block has wrong size");
+    STTSV_REQUIRE(std::is_sorted(blk.begin(), blk.end()) &&
+                      std::adjacent_find(blk.begin(), blk.end()) == blk.end(),
+                  "block must be strictly increasing");
+    STTSV_REQUIRE(blk.back() < m_, "block point out of range");
+  }
+  STTSV_REQUIRE(blocks_.size() == expected_num_blocks(),
+                "block count does not match m(m-1)(m-2)/(r(r-1)(r-2))");
+
+  point_blocks_.assign(m_, {});
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    for (const auto pt : blocks_[b]) point_blocks_[pt].push_back(b);
+  }
+  for (const auto& pb : point_blocks_) {
+    STTSV_CHECK(pb.size() == point_replication(),
+                "point replication violates Lemma 6.4");
+  }
+}
+
+const std::vector<std::size_t>& SteinerSystem::block(std::size_t b) const {
+  STTSV_REQUIRE(b < blocks_.size(), "block index out of range");
+  return blocks_[b];
+}
+
+std::size_t SteinerSystem::expected_num_blocks() const {
+  const std::size_t numer = m_ * (m_ - 1) * (m_ - 2);
+  const std::size_t denom = r_ * (r_ - 1) * (r_ - 2);
+  STTSV_CHECK(numer % denom == 0, "Wilson block-count divisibility fails");
+  return numer / denom;
+}
+
+std::size_t SteinerSystem::pair_replication() const {
+  STTSV_CHECK((m_ - 2) % (r_ - 2) == 0, "pair replication not integral");
+  return (m_ - 2) / (r_ - 2);
+}
+
+std::size_t SteinerSystem::point_replication() const {
+  const std::size_t numer = (m_ - 1) * (m_ - 2);
+  const std::size_t denom = (r_ - 1) * (r_ - 2);
+  STTSV_CHECK(numer % denom == 0, "point replication not integral");
+  return numer / denom;
+}
+
+const std::vector<std::vector<std::size_t>>& SteinerSystem::point_blocks()
+    const {
+  return point_blocks_;
+}
+
+std::vector<std::size_t> SteinerSystem::blocks_containing_pair(
+    std::size_t a, std::size_t b) const {
+  STTSV_REQUIRE(a < m_ && b < m_ && a != b,
+                "pair must be two distinct points");
+  std::vector<std::size_t> out;
+  std::set_intersection(point_blocks_[a].begin(), point_blocks_[a].end(),
+                        point_blocks_[b].begin(), point_blocks_[b].end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+void SteinerSystem::verify() const {
+  // Count coverage of every unordered triple via a flat m^2 slice per
+  // smallest point, keeping memory at O(m^2).
+  for (std::size_t a = 0; a + 2 < m_; ++a) {
+    // cover[b * m_ + c] counts blocks containing {a, b, c}, b < c, both > a.
+    std::vector<std::uint8_t> cover(m_ * m_, 0);
+    for (const auto blk_idx : point_blocks_[a]) {
+      const auto& blk = blocks_[blk_idx];
+      for (std::size_t i = 0; i < blk.size(); ++i) {
+        if (blk[i] <= a) continue;
+        for (std::size_t j = i + 1; j < blk.size(); ++j) {
+          if (blk[j] <= a) continue;
+          const auto lo = std::min(blk[i], blk[j]);
+          const auto hi = std::max(blk[i], blk[j]);
+          ++cover[lo * m_ + hi];
+        }
+      }
+    }
+    for (std::size_t b = a + 1; b < m_; ++b) {
+      for (std::size_t c = b + 1; c < m_; ++c) {
+        STTSV_CHECK(cover[b * m_ + c] == 1,
+                    "triple not covered exactly once");
+      }
+    }
+  }
+}
+
+bool wilson_admissible(std::size_t m, std::size_t r) {
+  if (r < 3 || m <= r) return false;
+  if ((m - 2) % (r - 2) != 0) return false;
+  if (((m - 1) * (m - 2)) % ((r - 1) * (r - 2)) != 0) return false;
+  if ((m * (m - 1) * (m - 2)) % (r * (r - 1) * (r - 2)) != 0) return false;
+  return true;
+}
+
+}  // namespace sttsv::steiner

@@ -1,0 +1,68 @@
+#pragma once
+// Steiner (m, r, 3) systems (paper Definition 6.1): collections of
+// r-subsets ("blocks") of {0..m-1} such that every 3-subset of points lies
+// in exactly one block. These drive the tetrahedral block partition: one
+// processor per block.
+//
+// Points here are 0-based; the paper's tables are 1-based. Rendering code
+// adds 1 when reproducing tables.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sttsv::steiner {
+
+/// An immutable, validated triple-wise balanced design.
+class SteinerSystem {
+ public:
+  /// Takes ownership of blocks; each must be a strictly increasing r-subset
+  /// of {0..m-1}. Cheap structural checks run here; call verify() for the
+  /// exhaustive triple-coverage check.
+  SteinerSystem(std::size_t num_points, std::size_t block_size,
+                std::vector<std::vector<std::size_t>> blocks);
+
+  [[nodiscard]] std::size_t num_points() const { return m_; }
+  [[nodiscard]] std::size_t block_size() const { return r_; }
+  [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
+  [[nodiscard]] const std::vector<std::size_t>& block(std::size_t b) const;
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& blocks() const {
+    return blocks_;
+  }
+
+  /// Expected block count m(m-1)(m-2) / (r(r-1)(r-2)).
+  [[nodiscard]] std::size_t expected_num_blocks() const;
+
+  /// λ₂ (paper Lemma 6.3): #blocks containing any fixed pair = (m-2)/(r-2).
+  [[nodiscard]] std::size_t pair_replication() const;
+
+  /// λ₁ (paper Lemma 6.4): #blocks containing any fixed point
+  /// = (m-1)(m-2) / ((r-1)(r-2)).
+  [[nodiscard]] std::size_t point_replication() const;
+
+  /// Indices of blocks containing each point (the sets Q_i before mapping
+  /// to processors). point_blocks()[i] is sorted ascending.
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& point_blocks()
+      const;
+
+  /// Sorted indices of blocks containing both points a != b.
+  [[nodiscard]] std::vector<std::size_t> blocks_containing_pair(
+      std::size_t a, std::size_t b) const;
+
+  /// Exhaustive verification that every 3-subset of points appears in
+  /// exactly one block. O(m^3) memory-light pass; throws on violation.
+  void verify() const;
+
+ private:
+  std::size_t m_;
+  std::size_t r_;
+  std::vector<std::vector<std::size_t>> blocks_;
+  std::vector<std::vector<std::size_t>> point_blocks_;
+};
+
+/// Wilson's necessary divisibility conditions (paper Theorem 6.2) for the
+/// existence of a Steiner (m, r, 3) system:
+///   (r-2) | (m-2), (r-1)(r-2) | (m-1)(m-2), r(r-1)(r-2) | m(m-1)(m-2).
+bool wilson_admissible(std::size_t m, std::size_t r);
+
+}  // namespace sttsv::steiner

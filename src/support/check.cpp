@@ -1,0 +1,27 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace sttsv::detail {
+
+namespace {
+std::string render(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+}  // namespace
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  throw PreconditionError(render("precondition", expr, file, line, msg));
+}
+
+void throw_internal(const char* expr, const char* file, int line,
+                    const std::string& msg) {
+  throw InternalError(render("invariant", expr, file, line, msg));
+}
+
+}  // namespace sttsv::detail

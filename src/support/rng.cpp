@@ -1,0 +1,88 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/check.hpp"
+
+namespace sttsv {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  STTSV_REQUIRE(bound >= 1, "next_below requires bound >= 1");
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_unit() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_in(double lo, double hi) {
+  STTSV_REQUIRE(lo < hi, "next_in requires lo < hi");
+  return lo + (hi - lo) * next_unit();
+}
+
+double Rng::next_normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] avoids log(0).
+  const double u1 = 1.0 - next_unit();
+  const double u2 = next_unit();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+std::vector<double> Rng::uniform_vector(std::size_t n, double lo, double hi) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = next_in(lo, hi);
+  return v;
+}
+
+}  // namespace sttsv

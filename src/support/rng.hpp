@@ -1,0 +1,56 @@
+#pragma once
+// Deterministic, seedable random number generation.
+//
+// All randomized tensors/vectors in tests and benches use Rng so every run
+// is reproducible from a printed seed. The generator is xoshiro256**,
+// seeded through SplitMix64 (the reference seeding procedure).
+
+#include <cstdint>
+#include <vector>
+
+namespace sttsv {
+
+/// SplitMix64 step; used for seeding and as a cheap standalone mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** pseudo-random generator. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) for bound >= 1 (rejection-free Lemire reduction).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_unit();
+
+  /// Uniform double in [lo, hi).
+  double next_in(double lo, double hi);
+
+  /// Standard normal via Box-Muller (two calls to next_unit per pair).
+  double next_normal();
+
+  /// Vector of n uniform doubles in [lo, hi).
+  std::vector<double> uniform_vector(std::size_t n, double lo = -1.0,
+                                     double hi = 1.0);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace sttsv

@@ -1,0 +1,52 @@
+#pragma once
+// Plain-text table rendering for the reproduction harness.
+//
+// Every bench binary prints "paper row vs reproduced row" tables; this keeps
+// the formatting consistent and alignment-correct without any dependency.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sttsv {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: set headers, append rows of strings, render.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns = {});
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line at this position.
+  void add_separator();
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with unicode-free ASCII borders.
+  [[nodiscard]] std::string render() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with fixed precision, trimming to a compact width.
+std::string format_double(double value, int precision = 3);
+
+/// Formats v as "a b c" (space-separated), useful for set-valued cells.
+std::string format_set(const std::vector<std::size_t>& v);
+
+}  // namespace sttsv

@@ -1,0 +1,58 @@
+#include "tensor/dense3.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "tensor/sym_tensor.hpp"
+
+namespace sttsv::tensor {
+
+Dense3::Dense3(std::size_t n) : n_(n), data_(n * n * n, 0.0) {
+  STTSV_REQUIRE(n >= 1, "tensor dimension must be >= 1");
+}
+
+bool Dense3::is_symmetric(double tol) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      for (std::size_t k = 0; k <= j; ++k) {
+        const double v = (*this)(i, j, k);
+        const double perms[5] = {(*this)(i, k, j), (*this)(j, i, k),
+                                 (*this)(j, k, i), (*this)(k, i, j),
+                                 (*this)(k, j, i)};
+        for (const double w : perms) {
+          if (std::abs(v - w) > tol) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+Dense3 to_dense(const SymTensor3& a) {
+  const std::size_t n = a.dim();
+  Dense3 out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        out.at(i, j, k) = a(i, j, k);
+      }
+    }
+  }
+  return out;
+}
+
+SymTensor3 from_dense(const Dense3& a, double tol) {
+  STTSV_REQUIRE(a.is_symmetric(tol), "from_dense needs a symmetric tensor");
+  const std::size_t n = a.dim();
+  SymTensor3 out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      for (std::size_t k = 0; k <= j; ++k) {
+        out.at(i, j, k) = a(i, j, k);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sttsv::tensor

@@ -1,0 +1,41 @@
+#pragma once
+// Dense n×n×n tensor used as the ground-truth reference (paper
+// Algorithm 3 operates on this) and for testing symmetry-exploiting code.
+
+#include <cstddef>
+#include <vector>
+
+namespace sttsv::tensor {
+
+class SymTensor3;
+
+class Dense3 {
+ public:
+  explicit Dense3(std::size_t n);
+
+  [[nodiscard]] std::size_t dim() const { return n_; }
+
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j,
+                                  std::size_t k) const {
+    return data_[(i * n_ + j) * n_ + k];
+  }
+  double& at(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[(i * n_ + j) * n_ + k];
+  }
+
+  /// True iff value is invariant under all 6 index permutations.
+  [[nodiscard]] bool is_symmetric(double tol = 0.0) const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+/// Expands packed symmetric storage to a full dense tensor.
+Dense3 to_dense(const SymTensor3& a);
+
+/// Compresses a symmetric dense tensor to packed storage; requires
+/// is_symmetric() within tol (throws otherwise).
+SymTensor3 from_dense(const Dense3& a, double tol = 0.0);
+
+}  // namespace sttsv::tensor

@@ -1,0 +1,80 @@
+#include "tensor/generators.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace sttsv::tensor {
+
+SymTensor3 random_symmetric(std::size_t n, Rng& rng, double lo, double hi) {
+  SymTensor3 a(n);
+  double* data = a.data();
+  for (std::size_t idx = 0; idx < a.packed_size(); ++idx) {
+    data[idx] = rng.next_in(lo, hi);
+  }
+  return a;
+}
+
+SymTensor3 low_rank_symmetric(
+    std::size_t n, const std::vector<double>& lambda,
+    const std::vector<std::vector<double>>& factors) {
+  STTSV_REQUIRE(lambda.size() == factors.size(),
+                "one weight per factor column");
+  for (const auto& col : factors) {
+    STTSV_REQUIRE(col.size() == n, "factor column has wrong length");
+  }
+  SymTensor3 a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      for (std::size_t k = 0; k <= j; ++k) {
+        double sum = 0.0;
+        for (std::size_t l = 0; l < lambda.size(); ++l) {
+          sum += lambda[l] * factors[l][i] * factors[l][j] * factors[l][k];
+        }
+        a.at(i, j, k) = sum;
+      }
+    }
+  }
+  return a;
+}
+
+SymTensor3 random_low_rank(std::size_t n, const std::vector<double>& lambda,
+                           Rng& rng,
+                           std::vector<std::vector<double>>* factors_out) {
+  std::vector<std::vector<double>> factors(lambda.size());
+  for (auto& col : factors) {
+    col.resize(n);
+    double norm2 = 0.0;
+    for (auto& x : col) {
+      x = rng.next_normal();
+      norm2 += x * x;
+    }
+    const double inv_norm = 1.0 / std::sqrt(norm2);
+    for (auto& x : col) x *= inv_norm;
+  }
+  SymTensor3 a = low_rank_symmetric(n, lambda, factors);
+  if (factors_out != nullptr) *factors_out = std::move(factors);
+  return a;
+}
+
+SymTensor3 super_diagonal(const std::vector<double>& values) {
+  SymTensor3 a(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    a.at(i, i, i) = values[i];
+  }
+  return a;
+}
+
+SymTensor3 hilbert_like(std::size_t n) {
+  SymTensor3 a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      for (std::size_t k = 0; k <= j; ++k) {
+        a.at(i, j, k) = 1.0 / static_cast<double>(i + j + k + 1);
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace sttsv::tensor

@@ -1,0 +1,37 @@
+#pragma once
+// Workload generators for tests, examples, and benches.
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "tensor/sym_tensor.hpp"
+
+namespace sttsv::tensor {
+
+/// Uniform random entries in [lo, hi) on the packed lower tetrahedron.
+SymTensor3 random_symmetric(std::size_t n, Rng& rng, double lo = -1.0,
+                            double hi = 1.0);
+
+/// Symmetric rank-r tensor Σ_ℓ λ_ℓ · x_ℓ ∘ x_ℓ ∘ x_ℓ; each x_ℓ is a column
+/// of `factors` (n × r, column-major as vector-of-columns). This is the
+/// model tensor of the symmetric CP decomposition (paper Algorithm 2).
+SymTensor3 low_rank_symmetric(std::size_t n,
+                              const std::vector<double>& lambda,
+                              const std::vector<std::vector<double>>& factors);
+
+/// Random symmetric rank-r tensor with unit-normal factor columns and the
+/// given weights; returns the tensor and outputs the generated factors.
+SymTensor3 random_low_rank(std::size_t n, const std::vector<double>& lambda,
+                           Rng& rng,
+                           std::vector<std::vector<double>>* factors_out);
+
+/// Super-diagonal tensor: a_iii = values[i], zero elsewhere. Its STTSV with
+/// x is elementwise values[i]·x_i², handy for closed-form checks.
+SymTensor3 super_diagonal(const std::vector<double>& values);
+
+/// a_ijk = 1 / (i + j + k + 1): a smooth, dense, well-conditioned test
+/// tensor (Hilbert-like).
+SymTensor3 hilbert_like(std::size_t n);
+
+}  // namespace sttsv::tensor

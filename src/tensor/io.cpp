@@ -1,0 +1,78 @@
+#include "tensor/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "support/check.hpp"
+
+namespace sttsv::tensor {
+
+namespace {
+constexpr const char* kTensorMagic = "sttsv-symtensor3";
+constexpr const char* kVectorMagic = "sttsv-vector";
+}  // namespace
+
+void write_tensor(std::ostream& os, const SymTensor3& a) {
+  os << kTensorMagic << " v1\n" << a.dim() << "\n";
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t idx = 0; idx < a.packed_size(); ++idx) {
+    os << a.packed(idx) << (idx + 1 == a.packed_size() ? '\n' : ' ');
+  }
+  STTSV_REQUIRE(static_cast<bool>(os), "tensor write failed");
+}
+
+SymTensor3 read_tensor(std::istream& is) {
+  std::string magic, version;
+  is >> magic >> version;
+  STTSV_REQUIRE(magic == kTensorMagic && version == "v1",
+                "not an sttsv-symtensor3 v1 stream");
+  std::size_t n = 0;
+  is >> n;
+  STTSV_REQUIRE(is && n >= 1, "bad tensor dimension");
+  SymTensor3 a(n);
+  for (std::size_t idx = 0; idx < a.packed_size(); ++idx) {
+    is >> a.data()[idx];
+  }
+  STTSV_REQUIRE(static_cast<bool>(is), "truncated tensor stream");
+  return a;
+}
+
+void save_tensor(const std::string& path, const SymTensor3& a) {
+  std::ofstream os(path);
+  STTSV_REQUIRE(os.is_open(), "cannot open '" + path + "' for writing");
+  write_tensor(os, a);
+}
+
+SymTensor3 load_tensor(const std::string& path) {
+  std::ifstream is(path);
+  STTSV_REQUIRE(is.is_open(), "cannot open '" + path + "' for reading");
+  return read_tensor(is);
+}
+
+void write_vector(std::ostream& os, const std::vector<double>& v) {
+  os << kVectorMagic << " v1\n" << v.size() << "\n";
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    os << v[i] << (i + 1 == v.size() ? '\n' : ' ');
+  }
+  STTSV_REQUIRE(static_cast<bool>(os), "vector write failed");
+}
+
+std::vector<double> read_vector(std::istream& is) {
+  std::string magic, version;
+  is >> magic >> version;
+  STTSV_REQUIRE(magic == kVectorMagic && version == "v1",
+                "not an sttsv-vector v1 stream");
+  std::size_t n = 0;
+  is >> n;
+  STTSV_REQUIRE(static_cast<bool>(is), "bad vector length");
+  std::vector<double> v(n);
+  for (auto& x : v) is >> x;
+  STTSV_REQUIRE(static_cast<bool>(is), "truncated vector stream");
+  return v;
+}
+
+}  // namespace sttsv::tensor

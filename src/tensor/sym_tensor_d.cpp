@@ -1,0 +1,94 @@
+#include "tensor/sym_tensor_d.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/check.hpp"
+
+namespace sttsv::tensor {
+
+std::size_t binomial(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::size_t result = 1;
+  for (std::size_t t = 1; t <= k; ++t) {
+    // result * (n - k + t) / t stays integral at every step.
+    const std::size_t numer = n - k + t;
+    STTSV_REQUIRE(result <= SIZE_MAX / numer, "binomial overflow");
+    result = result * numer / t;
+  }
+  return result;
+}
+
+SymTensorD::SymTensorD(std::size_t n, std::size_t order)
+    : n_(n), d_(order), data_(packed_count(n, order), 0.0) {
+  STTSV_REQUIRE(n >= 1, "tensor dimension must be >= 1");
+  STTSV_REQUIRE(order >= 1, "tensor order must be >= 1");
+}
+
+std::size_t SymTensorD::packed_count(std::size_t n, std::size_t order) {
+  return binomial(n + order - 1, order);
+}
+
+std::size_t SymTensorD::packed_index(
+    const std::vector<std::size_t>& sorted) {
+  const std::size_t d = sorted.size();
+  STTSV_DCHECK(d >= 1, "empty multi-index");
+  std::size_t idx = 0;
+  for (std::size_t t = 0; t < d; ++t) {
+    STTSV_DCHECK(t == 0 || sorted[t] <= sorted[t - 1],
+                 "multi-index not sorted non-increasing");
+    // Combinatorial number system digit: C(i_t + d-1-t, d-t).
+    idx += binomial(sorted[t] + d - 1 - t, d - t);
+  }
+  return idx;
+}
+
+void SymTensorD::unpack_index(std::size_t idx, std::size_t order,
+                              std::vector<std::size_t>& out) {
+  out.assign(order, 0);
+  std::size_t rest = idx;
+  for (std::size_t t = 0; t < order; ++t) {
+    const std::size_t r = order - t;  // remaining positions incl. this one
+    // Largest v with C(v + r - 1, r) <= rest.
+    std::size_t lo = 0;
+    std::size_t hi = 1;
+    while (binomial(hi + r - 1, r) <= rest) hi *= 2;
+    while (lo + 1 < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (binomial(mid + r - 1, r) <= rest) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    out[t] = lo;
+    rest -= binomial(lo + r - 1, r);
+  }
+  STTSV_DCHECK(rest == 0, "unpack_index residue");
+}
+
+double SymTensorD::operator()(std::vector<std::size_t> index) const {
+  STTSV_REQUIRE(index.size() == d_, "multi-index has wrong order");
+  for (const auto v : index) {
+    STTSV_REQUIRE(v < n_, "index out of range");
+  }
+  std::sort(index.begin(), index.end(), std::greater<>());
+  return data_[packed_index(index)];
+}
+
+double& SymTensorD::at(std::vector<std::size_t> index) {
+  STTSV_REQUIRE(index.size() == d_, "multi-index has wrong order");
+  for (const auto v : index) {
+    STTSV_REQUIRE(v < n_, "index out of range");
+  }
+  std::sort(index.begin(), index.end(), std::greater<>());
+  return data_[packed_index(index)];
+}
+
+double SymTensorD::packed(std::size_t idx) const {
+  STTSV_REQUIRE(idx < data_.size(), "packed index out of range");
+  return data_[idx];
+}
+
+}  // namespace sttsv::tensor

@@ -1,0 +1,81 @@
+#pragma once
+// Packed storage for fully symmetric tensors of arbitrary order d >= 1
+// (the paper's Section 8 generalization). A symmetric order-d tensor of
+// dimension n has C(n+d-1, d) distinct entries — the sorted non-increasing
+// multi-indices — stored via the combinatorial number system:
+//
+//   index(i_1 >= i_2 >= ... >= i_d) = Σ_t C(i_t + d - t, d - t + 1)
+//
+// which reduces to tetra_index for d = 3 and to triangular packing for
+// d = 2.
+
+#include <cstddef>
+#include <vector>
+
+namespace sttsv::tensor {
+
+/// Binomial coefficient with overflow checking (throws on overflow).
+std::size_t binomial(std::size_t n, std::size_t k);
+
+class SymTensorD {
+ public:
+  /// Zero-initialized symmetric tensor: dimension n, order d.
+  SymTensorD(std::size_t n, std::size_t order);
+
+  [[nodiscard]] std::size_t dim() const { return n_; }
+  [[nodiscard]] std::size_t order() const { return d_; }
+  [[nodiscard]] std::size_t packed_size() const { return data_.size(); }
+
+  /// Number of distinct entries: C(n+d-1, d).
+  static std::size_t packed_count(std::size_t n, std::size_t order);
+
+  /// Packed offset of a sorted non-increasing multi-index.
+  static std::size_t packed_index(const std::vector<std::size_t>& sorted);
+
+  /// Inverse of packed_index; fills `out` (resized to order) with the
+  /// sorted non-increasing multi-index.
+  static void unpack_index(std::size_t idx, std::size_t order,
+                           std::vector<std::size_t>& out);
+
+  /// Value at an arbitrary-order multi-index (sorted internally).
+  [[nodiscard]] double operator()(std::vector<std::size_t> index) const;
+
+  /// Mutable access (all d! permutations share one cell).
+  double& at(std::vector<std::size_t> index);
+
+  [[nodiscard]] double packed(std::size_t idx) const;
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+ private:
+  std::size_t n_;
+  std::size_t d_;
+  std::vector<double> data_;
+};
+
+/// Iterates all sorted non-increasing multi-indices of length `order` with
+/// entries < n, in packed order. Calls fn(multi_index) for each.
+template <typename Fn>
+void for_each_sorted_index(std::size_t n, std::size_t order, Fn&& fn) {
+  std::vector<std::size_t> idx(order, 0);
+  const auto& view = idx;
+  while (true) {
+    fn(view);
+    // Odometer over non-increasing tuples: increment the last position
+    // that can grow (bounded by the previous position, or n-1 for the
+    // first), reset the tail to zero.
+    std::size_t t = order;
+    while (t > 0) {
+      --t;
+      const std::size_t cap = t == 0 ? n - 1 : idx[t - 1];
+      if (idx[t] < cap) {
+        ++idx[t];
+        for (std::size_t u = t + 1; u < order; ++u) idx[u] = 0;
+        break;
+      }
+      if (t == 0) return;
+    }
+  }
+}
+
+}  // namespace sttsv::tensor

@@ -1,0 +1,130 @@
+// Block kernel tests: applying the kernel over every block of a tiled
+// tensor must reproduce Algorithm 4 exactly, per block type, including
+// padded edges.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/block_kernels.hpp"
+#include "core/costs.hpp"
+#include "core/sttsv_seq.hpp"
+#include "partition/blocks.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "tensor/generators.hpp"
+
+namespace sttsv::core {
+namespace {
+
+/// Runs apply_block over all lower-tetra blocks of an m×m×m tiling with
+/// edge b and collects the assembled y (padded length m*b, truncated to n).
+std::vector<double> blocked_sttsv(const tensor::SymTensor3& a,
+                                  const std::vector<double>& x,
+                                  std::size_t m, std::size_t b,
+                                  std::uint64_t* mults_out = nullptr) {
+  const std::size_t n = a.dim();
+  std::vector<double> x_pad(m * b, 0.0);
+  std::copy(x.begin(), x.end(), x_pad.begin());
+  std::vector<double> y_pad(m * b, 0.0);
+  std::uint64_t mults = 0;
+  for (const auto& c : partition::all_lower_blocks(m)) {
+    BlockBuffers buf;
+    buf.x[0] = x_pad.data() + c.i * b;
+    buf.x[1] = x_pad.data() + c.j * b;
+    buf.x[2] = x_pad.data() + c.k * b;
+    buf.y[0] = y_pad.data() + c.i * b;
+    buf.y[1] = y_pad.data() + c.j * b;
+    buf.y[2] = y_pad.data() + c.k * b;
+    mults += apply_block(a, c, b, buf);
+  }
+  if (mults_out != nullptr) *mults_out = mults;
+  return {y_pad.begin(), y_pad.begin() + static_cast<long>(n)};
+}
+
+struct TilingCase {
+  std::size_t n;
+  std::size_t m;
+  std::size_t b;
+};
+
+class BlockKernelTiling : public ::testing::TestWithParam<TilingCase> {};
+
+TEST_P(BlockKernelTiling, MatchesAlgorithm4) {
+  const auto [n, m, b] = GetParam();
+  ASSERT_GE(m * b, n);
+  Rng rng(n * 31 + m);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+  const auto y_ref = sttsv_packed(a, x);
+  std::uint64_t mults = 0;
+  const auto y = blocked_sttsv(a, x, m, b, &mults);
+  ASSERT_EQ(y.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i], y_ref[i], 1e-11) << "i=" << i;
+  }
+  EXPECT_EQ(mults, symmetric_ternary_mults(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tilings, BlockKernelTiling,
+    ::testing::Values(TilingCase{12, 4, 3},   // exact tiling
+                      TilingCase{12, 3, 4},   // exact, larger blocks
+                      TilingCase{10, 4, 3},   // padded (12 > 10)
+                      TilingCase{7, 7, 1},    // unit blocks
+                      TilingCase{5, 1, 5},    // single central block
+                      TilingCase{11, 2, 6},   // two blocks, padding
+                      TilingCase{9, 5, 2}));  // padding in last block
+
+TEST(BlockKernel, PerTypeMultCounts) {
+  // Kernel mult counts must match ternary_mults_in_block per type
+  // (no padding so formulas are exact).
+  const std::size_t m = 3;
+  const std::size_t b = 4;
+  const std::size_t n = m * b;
+  Rng rng(5);
+  const auto a = tensor::random_symmetric(n, rng);
+  std::vector<double> x_pad(n, 1.0);
+  std::vector<double> y_pad(n, 0.0);
+  for (const auto& c : partition::all_lower_blocks(m)) {
+    BlockBuffers buf;
+    buf.x[0] = x_pad.data() + c.i * b;
+    buf.x[1] = x_pad.data() + c.j * b;
+    buf.x[2] = x_pad.data() + c.k * b;
+    buf.y[0] = y_pad.data() + c.i * b;
+    buf.y[1] = y_pad.data() + c.j * b;
+    buf.y[2] = y_pad.data() + c.k * b;
+    const auto mults = apply_block(a, c, b, buf);
+    EXPECT_EQ(mults,
+              partition::ternary_mults_in_block(partition::classify(c), b))
+        << "block (" << c.i << "," << c.j << "," << c.k << ")";
+  }
+}
+
+TEST(BlockKernel, FullyPaddedBlockIsFree) {
+  // Tensor dim 4 tiled with m=2, b=4: blocks touching indices >= 4 are
+  // partially or fully padded; block (1,1,1) covers 4..7 entirely beyond n.
+  tensor::SymTensor3 a(4);
+  std::vector<double> x(8, 1.0);
+  std::vector<double> y(8, 0.0);
+  BlockBuffers buf;
+  buf.x[0] = buf.x[1] = buf.x[2] = x.data() + 4;
+  buf.y[0] = buf.y[1] = buf.y[2] = y.data() + 4;
+  EXPECT_EQ(apply_block(a, {1, 1, 1}, 4, buf), 0u);
+  for (const double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(BlockKernel, RejectsUnsortedOrUnbound) {
+  tensor::SymTensor3 a(4);
+  std::vector<double> x(2, 0.0), y(2, 0.0);
+  BlockBuffers buf;
+  buf.x[0] = buf.x[1] = buf.x[2] = x.data();
+  buf.y[0] = buf.y[1] = buf.y[2] = y.data();
+  EXPECT_THROW(apply_block(a, {0, 1, 0}, 2, buf), PreconditionError);
+  BlockBuffers unbound;
+  EXPECT_THROW(apply_block(a, {1, 0, 0}, 2, unbound), PreconditionError);
+}
+
+}  // namespace
+}  // namespace sttsv::core

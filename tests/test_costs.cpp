@@ -1,0 +1,122 @@
+// Closed-form cost tests: internal consistency of the paper's formulas
+// (Theorem 5.2, Sections 7.1-7.2) and their asymptotic relationships.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/costs.hpp"
+
+namespace sttsv::core {
+namespace {
+
+TEST(LowerBound, MatchesManualEvaluation) {
+  // n=120, P=30: 2*(120*119*118/30)^{1/3} - 2*120/30.
+  const double expected =
+      2.0 * std::cbrt(120.0 * 119.0 * 118.0 / 30.0) - 8.0;
+  EXPECT_NEAR(lower_bound_words(120, 30), expected, 1e-9);
+}
+
+TEST(LowerBound, DecreasesInP) {
+  // Monotone decreasing once P is past the tiny-P regime where the
+  // owned-data rebate 2n/P still dominates.
+  const std::size_t n = 1000;
+  double prev = lower_bound_words(n, 10);
+  for (std::size_t P : {30u, 130u, 520u, 2210u}) {
+    const double cur = lower_bound_words(n, P);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(OptimalAlgorithm, MatchesLowerBoundLeadingTerm) {
+  // Section 7.2.2: the algorithm's cost 2(n(q+1)/(q²+1) - n/P) has the
+  // same leading term 2n/P^{1/3} as the lower bound; the ratio tends to 1
+  // as q grows (for n scaled with q so b stays fixed).
+  double prev_ratio = 10.0;
+  for (const std::size_t q : {2u, 3u, 4u, 5u, 7u, 9u, 13u}) {
+    const std::size_t m = q * q + 1;
+    const std::size_t n = m * q * (q + 1) * 8;  // divisible workload
+    const std::size_t P = spherical_processor_count(q);
+    const double ratio =
+        optimal_algorithm_words(n, q) / lower_bound_words(n, P);
+    EXPECT_GT(ratio, 0.95);
+    EXPECT_LT(ratio, prev_ratio + 0.02);
+    prev_ratio = ratio;
+  }
+  // At q=13 the ratio is within ~12% of 1 (driven by (q+1)/q ≈ P^{1/3}
+  // approximation quality).
+  EXPECT_LT(prev_ratio, 1.15);
+}
+
+TEST(AllToAll, AsymptoticallyTwiceTheOptimal) {
+  // 4n/(q+1) vs 2n(q+1)/(q²+1): the ratio is 2(q²+1)/((q+1)² - (q²+1)/q)
+  // -> 2 from below as q grows.
+  double prev = 1.0;
+  for (const std::size_t q : {4u, 8u, 16u, 64u, 256u}) {
+    const std::size_t n = (q * q + 1) * q * (q + 1);
+    const double ratio =
+        all_to_all_words(n, q) / optimal_algorithm_words(n, q);
+    EXPECT_GT(ratio, prev);
+    EXPECT_LT(ratio, 2.0);
+    prev = ratio;
+  }
+  EXPECT_NEAR(prev, 2.0, 0.02);  // within 2% at q = 256
+}
+
+TEST(Steps, FormulaAndComparisonToAllToAll) {
+  EXPECT_EQ(p2p_steps_per_vector(2), 9u);     // 4+8-... 2³/2+3·4/2-1 = 9
+  EXPECT_EQ(p2p_steps_per_vector(3), 26u);    // 27/2+27/2-1 = 26
+  EXPECT_EQ(p2p_steps_per_vector(4), 55u);
+  // Strictly fewer steps than All-to-All's P-1 for q >= 3 (equal at q=2).
+  EXPECT_EQ(p2p_steps_per_vector(2), spherical_processor_count(2) - 1);
+  for (const std::size_t q : {3u, 4u, 5u, 7u}) {
+    EXPECT_LT(p2p_steps_per_vector(q), spherical_processor_count(q) - 1);
+  }
+}
+
+TEST(TernaryCounts, Formulas) {
+  EXPECT_EQ(naive_ternary_mults(10), 1000u);
+  EXPECT_EQ(symmetric_ternary_mults(10), 550u);  // n²(n+1)/2
+  EXPECT_EQ(symmetric_ternary_mults(1), 1u);
+  // Symmetric is about half of naive.
+  EXPECT_NEAR(static_cast<double>(symmetric_ternary_mults(100)) /
+                  static_cast<double>(naive_ternary_mults(100)),
+              0.5, 0.01);
+}
+
+TEST(PerRankBounds, SumApproximatesGlobalWork) {
+  // P ranks at the per-rank ternary bound cover the global count
+  // n²(n+1)/2 with small slack (not every rank holds a central block).
+  for (const std::size_t q : {2u, 3u, 5u}) {
+    const std::size_t b = q * (q + 1);
+    const std::size_t n = b * (q * q + 1);
+    const std::size_t P = spherical_processor_count(q);
+    const double per_rank = static_cast<double>(per_rank_ternary_bound(q, b));
+    const double global = static_cast<double>(symmetric_ternary_mults(n));
+    EXPECT_GT(per_rank * static_cast<double>(P), global * 0.999);
+    EXPECT_LT(per_rank, global / static_cast<double>(P) * 1.2);
+  }
+}
+
+TEST(StorageBound, ApproximatesSixthOfCube) {
+  for (const std::size_t q : {2u, 3u, 5u, 7u}) {
+    const std::size_t b = 3 * q * (q + 1);
+    const std::size_t n = b * (q * q + 1);
+    const std::size_t P = spherical_processor_count(q);
+    const double bound = static_cast<double>(per_rank_storage_bound(q, b));
+    const double ideal = static_cast<double>(n) * static_cast<double>(n) *
+                         static_cast<double>(n) / (6.0 * static_cast<double>(P));
+    EXPECT_NEAR(bound / ideal, 1.0, 0.2);
+  }
+}
+
+TEST(SphericalCounts, PaperValues) {
+  EXPECT_EQ(spherical_processor_count(2), 10u);
+  EXPECT_EQ(spherical_processor_count(3), 30u);   // Table 1
+  EXPECT_EQ(spherical_row_blocks(3), 10u);        // m = 10
+  EXPECT_EQ(spherical_processor_count(5), 130u);
+}
+
+}  // namespace
+}  // namespace sttsv::core

@@ -1,0 +1,158 @@
+// Edge-case and determinism tests across the stack: degenerate inputs,
+// bit-for-bit reproducibility of parallel runs, and documented failure
+// modes (e.g. HOPM on the zero tensor).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "apps/hopm.hpp"
+#include "core/parallel_sttsv.hpp"
+#include "core/sttsv_seq.hpp"
+#include "partition/tetra_partition.hpp"
+#include "partition/vector_distribution.hpp"
+#include "steiner/constructions.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "tensor/generators.hpp"
+
+namespace sttsv {
+namespace {
+
+TEST(EdgeCases, DimensionOneTensor) {
+  tensor::SymTensor3 a(1);
+  a.at(0, 0, 0) = 3.0;
+  const auto y = core::sttsv_packed(a, {2.0});
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);  // 3 · 2 · 2
+}
+
+TEST(EdgeCases, ZeroTensorGivesZeroOutput) {
+  tensor::SymTensor3 a(6);
+  const auto y = core::sttsv_packed(a, std::vector<double>(6, 1.0));
+  for (const double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(EdgeCases, ZeroVectorGivesZeroOutput) {
+  Rng rng(1);
+  const auto a = tensor::random_symmetric(5, rng);
+  const auto y = core::sttsv_packed(a, std::vector<double>(5, 0.0));
+  for (const double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(EdgeCases, HopmOnZeroTensorThrowsWithoutShift) {
+  // Plain HOPM on the zero tensor collapses the iterate to zero; the
+  // normalization precondition fires rather than dividing by zero.
+  tensor::SymTensor3 a(4);
+  apps::HopmOptions opts;
+  opts.shift = 0.0;
+  opts.max_iterations = 5;
+  EXPECT_THROW(apps::hopm(a, opts), PreconditionError);
+}
+
+TEST(EdgeCases, HopmOnZeroTensorWithShiftFindsZeroEigenvalue) {
+  // SS-HOPM's shift keeps the iterate alive: y = αx, x converges to the
+  // start direction with λ = 0.
+  tensor::SymTensor3 a(4);
+  apps::HopmOptions opts;
+  opts.shift = 1.0;
+  opts.max_iterations = 50;
+  const auto res = apps::hopm(a, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.eigenvalue, 0.0, 1e-12);
+}
+
+TEST(EdgeCases, HopmZeroIterationsStillReportsRayleighQuotient) {
+  Rng rng(2);
+  const auto a = tensor::random_symmetric(6, rng);
+  apps::HopmOptions opts;
+  opts.max_iterations = 0;
+  const auto res = apps::hopm(a, opts);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 0u);
+  EXPECT_EQ(res.eigenvector.size(), 6u);  // the (normalized) start vector
+}
+
+TEST(EdgeCases, ParallelRunIsBitForBitDeterministic) {
+  const auto part =
+      partition::TetraPartition::build(steiner::spherical_system(2));
+  const std::size_t n = 47;
+  const partition::VectorDistribution dist(part, n);
+  Rng rng(3);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+
+  simt::Machine m1(10);
+  const auto r1 = core::parallel_sttsv(m1, part, dist, a, x,
+                                       simt::Transport::kPointToPoint);
+  simt::Machine m2(10);
+  const auto r2 = core::parallel_sttsv(m2, part, dist, a, x,
+                                       simt::Transport::kPointToPoint);
+  // Exact equality, not tolerance: the deterministic exchange and
+  // reduction order guarantee identical floating-point results.
+  ASSERT_EQ(r1.y.size(), r2.y.size());
+  EXPECT_EQ(0, std::memcmp(r1.y.data(), r2.y.data(),
+                           r1.y.size() * sizeof(double)));
+  EXPECT_EQ(r1.ternary_mults, r2.ternary_mults);
+  EXPECT_EQ(m1.ledger().total_words(), m2.ledger().total_words());
+}
+
+TEST(EdgeCases, TransportsGiveSameWordsDifferentModel) {
+  // Both transports move the SAME data; they differ only in rounds and
+  // modeled collective cost. (q = 3: the step counts differ strictly;
+  // q = 2 is the paper's equality edge case 9 = P-1.)
+  const auto part =
+      partition::TetraPartition::build(steiner::spherical_system(3));
+  const std::size_t n = 120;
+  const partition::VectorDistribution dist(part, n);
+  Rng rng(4);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+
+  simt::Machine p2p(30), a2a(30);
+  (void)core::parallel_sttsv(p2p, part, dist, a, x,
+                             simt::Transport::kPointToPoint);
+  (void)core::parallel_sttsv(a2a, part, dist, a, x,
+                             simt::Transport::kAllToAll);
+  EXPECT_EQ(p2p.ledger().total_words(), a2a.ledger().total_words());
+  EXPECT_LT(p2p.ledger().rounds(), a2a.ledger().rounds());
+  EXPECT_EQ(p2p.ledger().modeled_collective_words(), 0u);
+  EXPECT_GT(a2a.ledger().modeled_collective_words(), 0u);
+}
+
+TEST(EdgeCases, TinyNWithLargePartition) {
+  // n smaller than the number of row blocks: most blocks are pure
+  // padding; the answer must still be exact.
+  const auto part =
+      partition::TetraPartition::build(steiner::spherical_system(3));
+  const std::size_t n = 7;  // m = 10 > n
+  const partition::VectorDistribution dist(part, n);
+  Rng rng(5);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+  simt::Machine machine(30);
+  const auto result = core::parallel_sttsv(
+      machine, part, dist, a, x, simt::Transport::kPointToPoint);
+  const auto y_ref = core::sttsv_packed(a, x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(result.y[i], y_ref[i], 1e-12);
+  }
+}
+
+TEST(EdgeCases, NegativeAndHugeValues) {
+  // Magnitude extremes flow through packing, kernels, and exchange.
+  tensor::SymTensor3 a(3);
+  a.at(0, 0, 0) = 1e150;
+  a.at(2, 1, 0) = -1e-150;
+  a.at(2, 2, 2) = -1e150;
+  const std::vector<double> x{1e-75, 2.0, -1e-75};
+  const auto y = core::sttsv_packed(a, x);
+  EXPECT_DOUBLE_EQ(y[0], 1e150 * 1e-75 * 1e-75 +
+                             2.0 * (-1e-150) * 2.0 * (-1e-75));
+  EXPECT_TRUE(std::isfinite(y[1]));
+  EXPECT_TRUE(std::isfinite(y[2]));
+}
+
+}  // namespace
+}  // namespace sttsv

@@ -1,0 +1,75 @@
+// Multi-start eigenpair search tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/eigensearch.hpp"
+#include "apps/vec_ops.hpp"
+#include "support/rng.hpp"
+#include "tensor/generators.hpp"
+
+namespace sttsv::apps {
+namespace {
+
+TEST(EigenSearch, FindsDiagonalEigenpairs) {
+  // For a_iii = d_i, every e_i is a Z-eigenpair with value d_i; SS-HOPM
+  // reaches the robust ones (|d_i| locally maximal attractors).
+  const auto a = tensor::super_diagonal({6.0, 4.0, 2.0, 1.0});
+  EigenSearchOptions opts;
+  opts.num_starts = 40;
+  opts.hopm.shift = 1.0;
+  opts.hopm.max_iterations = 3000;
+  const auto pairs = find_eigenpairs(a, opts);
+  ASSERT_FALSE(pairs.empty());
+  // Sorted by |value| descending; top value should be ~6.
+  EXPECT_NEAR(pairs[0].value, 6.0, 1e-6);
+  for (const auto& pair : pairs) {
+    EXPECT_LT(pair.residual, 1e-6);
+    EXPECT_GE(pair.hits, 1u);
+  }
+  // All found eigenvalues should be among the diagonal entries.
+  for (const auto& pair : pairs) {
+    const double v = std::abs(pair.value);
+    const bool known = std::abs(v - 6.0) < 1e-5 ||
+                       std::abs(v - 4.0) < 1e-5 ||
+                       std::abs(v - 2.0) < 1e-5 || std::abs(v - 1.0) < 1e-5;
+    EXPECT_TRUE(known) << "unexpected eigenvalue " << pair.value;
+  }
+}
+
+TEST(EigenSearch, DeduplicatesRepeatedConvergence) {
+  // Rank-1 tensor: every start converges to the same (±v, ±λ) couple, so
+  // exactly one deduplicated pair must come back with many hits.
+  Rng rng(9);
+  const std::size_t n = 10;
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.next_normal();
+  normalize(v);
+  const auto a = tensor::low_rank_symmetric(n, {2.5}, {v});
+
+  EigenSearchOptions opts;
+  opts.num_starts = 8;
+  opts.hopm.shift = 0.5;
+  opts.hopm.max_iterations = 2000;
+  const auto pairs = find_eigenpairs(a, opts);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].hits, 8u);
+  EXPECT_NEAR(std::abs(pairs[0].value), 2.5, 1e-6);
+  EXPECT_LT(sign_invariant_distance(pairs[0].vector, v), 1e-5);
+}
+
+TEST(EigenSearch, SortedByMagnitude) {
+  const auto a = tensor::super_diagonal({1.0, 5.0, 3.0});
+  EigenSearchOptions opts;
+  opts.num_starts = 30;
+  opts.hopm.shift = 1.0;
+  opts.hopm.max_iterations = 3000;
+  const auto pairs = find_eigenpairs(a, opts);
+  for (std::size_t t = 1; t < pairs.size(); ++t) {
+    EXPECT_GE(std::abs(pairs[t - 1].value), std::abs(pairs[t].value));
+  }
+}
+
+}  // namespace
+}  // namespace sttsv::apps

@@ -1,0 +1,147 @@
+// Executable checks of the paper's Section 4 geometry: Loomis-Whitney
+// (Lemma 4.1), the symmetric union bound (Lemma 4.2), its tightness on
+// tetrahedral blocks, and the order-d generalization — on structured and
+// random point sets.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "partition/blocks.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace sttsv::core {
+namespace {
+
+std::vector<Point3> random_strict_points(Rng& rng, std::size_t count,
+                                         std::size_t range) {
+  std::vector<Point3> pts;
+  while (pts.size() < count) {
+    std::size_t a = rng.next_below(range);
+    std::size_t b = rng.next_below(range);
+    std::size_t c = rng.next_below(range);
+    if (a > b && b > c) pts.push_back({a, b, c});
+  }
+  return pts;
+}
+
+TEST(LoomisWhitney, HoldsOnRandomSets) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Point3> pts;
+    const std::size_t count = 1 + rng.next_below(80);
+    for (std::size_t t = 0; t < count; ++t) {
+      pts.push_back({rng.next_below(12), rng.next_below(12),
+                     rng.next_below(12)});
+    }
+    EXPECT_TRUE(loomis_whitney_holds(pts));
+  }
+}
+
+TEST(LoomisWhitney, TightOnFullCube) {
+  // V = [0,s)³ attains equality: |V| = s³ = |φ_i||φ_j||φ_k|.
+  std::vector<Point3> cube;
+  const std::size_t s = 4;
+  for (std::size_t a = 0; a < s; ++a) {
+    for (std::size_t b = 0; b < s; ++b) {
+      for (std::size_t c = 0; c < s; ++c) cube.push_back({a, b, c});
+    }
+  }
+  const auto proj = project3(cube);
+  EXPECT_EQ(cube.size(),
+            proj.i.size() * proj.j.size() * proj.k.size());
+  EXPECT_TRUE(loomis_whitney_holds(cube));
+}
+
+TEST(SymmetricBound, HoldsOnRandomStrictSets) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pts = random_strict_points(rng, 1 + rng.next_below(60), 14);
+    EXPECT_TRUE(symmetric_projection_bound_holds(pts));
+  }
+}
+
+TEST(SymmetricBound, TightOnTetrahedralBlocks) {
+  // The motivation for TB₃(R): |TB₃(R)| = C(|R|,3) and the union of
+  // projections is exactly R, so 6|V| = |R|(|R|-1)(|R|-2) <= |R|³ with
+  // equality ratio -> 1. The bound must hold with little slack.
+  for (const std::size_t r : {4u, 6u, 10u, 16u}) {
+    std::vector<std::size_t> R;
+    for (std::size_t t = 0; t < r; ++t) R.push_back(3 * t + 1);
+    std::vector<Point3> pts;
+    for (const auto& c : partition::tetrahedral_block(R)) {
+      pts.push_back({c.i, c.j, c.k});
+    }
+    EXPECT_TRUE(symmetric_projection_bound_holds(pts));
+    // Slack factor: |R|³ / (6·C(|R|,3)) = r²/((r-1)(r-2)) -> 1.
+    const auto proj = project3(pts);
+    EXPECT_EQ(proj.union_size(), r);
+    const double slack =
+        static_cast<double>(r * r * r) / (6.0 * static_cast<double>(pts.size()));
+    // slack = r²/((r-1)(r-2)): 2.67 at r=4, 1.39 at r=10, -> 1.
+    EXPECT_NEAR(slack, static_cast<double>(r * r) /
+                           static_cast<double>((r - 1) * (r - 2)),
+                1e-12);
+    if (r >= 10) {
+      EXPECT_LT(slack, 1.4);
+    }
+  }
+}
+
+TEST(SymmetricBound, RejectsNonStrictPoints) {
+  EXPECT_THROW(symmetric_projection_bound_holds({{2, 2, 1}}),
+               PreconditionError);
+  EXPECT_THROW(symmetric_projection_bound_holds({{1, 2, 3}}),
+               PreconditionError);
+}
+
+TEST(ExpandSymmetric, SixfoldForStrictTriples) {
+  // |V~| = 6|V| for strict triples — the counting step in Lemma 4.2's
+  // proof.
+  Rng rng(3);
+  const auto pts3 = random_strict_points(rng, 20, 12);
+  std::vector<PointD> pts;
+  for (const auto& p : pts3) pts.push_back({p[0], p[1], p[2]});
+  const auto expanded = expand_symmetric(pts);
+  EXPECT_EQ(expanded.size(), 6 * pts.size());
+}
+
+TEST(ExpandSymmetric, FewerForRepeatedIndices) {
+  const auto expanded = expand_symmetric({{2, 2, 1}});
+  EXPECT_EQ(expanded.size(), 3u);  // (2,2,1),(2,1,2),(1,2,2)
+  const auto center = expand_symmetric({{1, 1, 1}});
+  EXPECT_EQ(center.size(), 1u);
+}
+
+TEST(SymmetricBoundD, HoldsForHigherOrders) {
+  Rng rng(4);
+  for (const std::size_t d : {2u, 3u, 4u, 5u}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<PointD> pts;
+      const std::size_t count = 1 + rng.next_below(30);
+      while (pts.size() < count) {
+        PointD p(d);
+        bool ok = true;
+        for (std::size_t t = 0; t < d; ++t) {
+          p[t] = rng.next_below(d + 12);
+        }
+        std::sort(p.begin(), p.end(), std::greater<>());
+        for (std::size_t t = 1; t < d; ++t) {
+          ok = ok && p[t - 1] > p[t];
+        }
+        if (ok) pts.push_back(std::move(p));
+      }
+      EXPECT_TRUE(symmetric_projection_bound_holds_d(pts))
+          << "d=" << d << " trial=" << trial;
+    }
+  }
+}
+
+TEST(SymmetricBoundD, EmptySetTriviallyHolds) {
+  EXPECT_TRUE(symmetric_projection_bound_holds_d({}));
+}
+
+}  // namespace
+}  // namespace sttsv::core

@@ -1,0 +1,232 @@
+// Finite field tests: primes, prime fields, polynomials, and GF(p^k)
+// table arithmetic, including the field-axiom properties the Steiner
+// construction depends on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gf/field_table.hpp"
+#include "gf/prime_field.hpp"
+#include "gf/primes.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::gf {
+namespace {
+
+TEST(Primes, SmallValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(91));  // 7 * 13
+}
+
+TEST(Primes, PrimeFactors) {
+  EXPECT_EQ(prime_factors(12), (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(prime_factors(97), (std::vector<std::uint64_t>{97}));
+  EXPECT_EQ(prime_factors(360), (std::vector<std::uint64_t>{2, 3, 5}));
+  EXPECT_THROW(prime_factors(1), PreconditionError);
+}
+
+TEST(Primes, PrimePowerDetection) {
+  std::uint64_t p = 0;
+  unsigned k = 0;
+  EXPECT_TRUE(is_prime_power(8, p, k));
+  EXPECT_EQ(p, 2u);
+  EXPECT_EQ(k, 3u);
+  EXPECT_TRUE(is_prime_power(9, p, k));
+  EXPECT_EQ(p, 3u);
+  EXPECT_EQ(k, 2u);
+  EXPECT_TRUE(is_prime_power(7, p, k));
+  EXPECT_EQ(k, 1u);
+  EXPECT_FALSE(is_prime_power(6, p, k));
+  EXPECT_FALSE(is_prime_power(1, p, k));
+}
+
+TEST(Primes, PrimePowersInRange) {
+  EXPECT_EQ(prime_powers_in(2, 11),
+            (std::vector<std::uint64_t>{2, 3, 4, 5, 7, 8, 9, 11}));
+}
+
+TEST(Primes, CheckedPow) {
+  EXPECT_EQ(checked_pow(2, 10), 1024u);
+  EXPECT_EQ(checked_pow(7, 0), 1u);
+  EXPECT_THROW(checked_pow(10, 20), PreconditionError);
+}
+
+TEST(PrimeField, BasicArithmetic) {
+  const PrimeField F(7);
+  EXPECT_EQ(F.add(3, 5), 1u);
+  EXPECT_EQ(F.sub(3, 5), 5u);
+  EXPECT_EQ(F.neg(0), 0u);
+  EXPECT_EQ(F.neg(2), 5u);
+  EXPECT_EQ(F.mul(3, 5), 1u);
+  EXPECT_EQ(F.pow(3, 6), 1u);  // Fermat
+}
+
+TEST(PrimeField, InverseRoundTrips) {
+  const PrimeField F(31);
+  for (std::uint64_t a = 1; a < 31; ++a) {
+    EXPECT_EQ(F.mul(a, F.inv(a)), 1u) << "a=" << a;
+  }
+  EXPECT_THROW(static_cast<void>(F.inv(0)), PreconditionError);
+}
+
+TEST(PrimeField, RejectsComposite) {
+  EXPECT_THROW(PrimeField(6), PreconditionError);
+}
+
+TEST(Poly, MulAndMod) {
+  const PrimeField F(5);
+  // (x + 1)(x + 4) = x² + 5x + 4 = x² + 4 over GF(5).
+  const Poly prod = poly_mul(F, Poly{1, 1}, Poly{4, 1});
+  EXPECT_EQ(prod, (Poly{4, 0, 1}));
+  // x² + 4 mod (x + 1): substitute x = -1 -> 1 + 4 = 0.
+  EXPECT_TRUE(poly_mod(F, prod, Poly{1, 1}).empty());
+}
+
+TEST(Poly, IrreducibilityKnownCases) {
+  const PrimeField F2(2);
+  EXPECT_TRUE(poly_is_irreducible(F2, Poly{1, 1, 1}));        // x²+x+1
+  EXPECT_FALSE(poly_is_irreducible(F2, Poly{1, 0, 1}));       // (x+1)²
+  EXPECT_TRUE(poly_is_irreducible(F2, Poly{1, 1, 0, 1}));     // x³+x+1
+  EXPECT_FALSE(poly_is_irreducible(F2, Poly{0, 1, 1, 1}));    // div by x
+  const PrimeField F3(3);
+  EXPECT_TRUE(poly_is_irreducible(F3, Poly{1, 0, 1}));   // x²+1 over GF(3)
+  EXPECT_FALSE(poly_is_irreducible(F3, Poly{2, 0, 1}));  // x²-1=(x-1)(x+1)
+}
+
+TEST(Poly, FindPrimitiveIsIrreducibleAndPrimitive) {
+  for (const std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL}) {
+    const PrimeField F(p);
+    for (unsigned d = 1; d <= 3; ++d) {
+      const Poly f = find_primitive_poly(F, d);
+      EXPECT_EQ(poly_degree(f), static_cast<int>(d));
+      EXPECT_TRUE(poly_is_primitive(F, f)) << "p=" << p << " d=" << d;
+    }
+  }
+}
+
+class FieldTableParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FieldTableParam, FieldAxiomsExhaustive) {
+  const std::uint64_t q = GetParam();
+  const FieldTable K = FieldTable::make_order(q);
+  ASSERT_EQ(K.order(), q);
+
+  for (std::uint64_t a = 0; a < q; ++a) {
+    // Additive inverse and identity.
+    EXPECT_EQ(K.add(a, K.zero()), a);
+    EXPECT_EQ(K.add(a, K.neg(a)), K.zero());
+    // Multiplicative identity.
+    EXPECT_EQ(K.mul(a, K.one()), a);
+    if (a != 0) {
+      EXPECT_EQ(K.mul(a, K.inv(a)), K.one());
+    }
+    for (std::uint64_t b = 0; b < q; ++b) {
+      // Commutativity.
+      EXPECT_EQ(K.add(a, b), K.add(b, a));
+      EXPECT_EQ(K.mul(a, b), K.mul(b, a));
+    }
+  }
+}
+
+TEST_P(FieldTableParam, AssociativityAndDistributivitySampled) {
+  const std::uint64_t q = GetParam();
+  const FieldTable K = FieldTable::make_order(q);
+  // Exhaustive for small q, strided for larger.
+  const std::uint64_t stride = q <= 9 ? 1 : q / 7;
+  for (std::uint64_t a = 0; a < q; a += stride) {
+    for (std::uint64_t b = 0; b < q; b += stride) {
+      for (std::uint64_t c = 0; c < q; c += stride) {
+        EXPECT_EQ(K.add(a, K.add(b, c)), K.add(K.add(a, b), c));
+        EXPECT_EQ(K.mul(a, K.mul(b, c)), K.mul(K.mul(a, b), c));
+        EXPECT_EQ(K.mul(a, K.add(b, c)), K.add(K.mul(a, b), K.mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST_P(FieldTableParam, GeneratorHasFullOrder) {
+  const std::uint64_t q = GetParam();
+  const FieldTable K = FieldTable::make_order(q);
+  std::set<std::uint64_t> powers;
+  std::uint64_t x = K.one();
+  for (std::uint64_t e = 0; e < q - 1; ++e) {
+    powers.insert(x);
+    x = K.mul(x, K.generator());
+  }
+  EXPECT_EQ(powers.size(), q - 1);
+  EXPECT_EQ(x, K.one());  // full cycle
+}
+
+TEST_P(FieldTableParam, FrobeniusIsAdditive) {
+  const std::uint64_t q = GetParam();
+  const FieldTable K = FieldTable::make_order(q);
+  const std::uint64_t stride = q <= 16 ? 1 : q / 11;
+  for (std::uint64_t a = 0; a < q; a += stride) {
+    for (std::uint64_t b = 0; b < q; b += stride) {
+      EXPECT_EQ(K.frobenius(K.add(a, b)),
+                K.add(K.frobenius(a), K.frobenius(b)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimePowers, FieldTableParam,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 16, 25, 27));
+
+TEST(FieldTable, SubfieldOfGF16) {
+  const FieldTable K = FieldTable::make(2, 4);  // GF(16)
+  const auto sub = K.subfield(4);               // GF(4) inside GF(16)
+  ASSERT_EQ(sub.size(), 4u);
+  // Closed under addition and multiplication.
+  for (const auto a : sub) {
+    for (const auto b : sub) {
+      EXPECT_TRUE(std::binary_search(sub.begin(), sub.end(), K.add(a, b)));
+      EXPECT_TRUE(std::binary_search(sub.begin(), sub.end(), K.mul(a, b)));
+    }
+  }
+}
+
+TEST(FieldTable, SubfieldOfGF81) {
+  const FieldTable K = FieldTable::make(3, 4);  // GF(81)
+  const auto sub = K.subfield(9);
+  ASSERT_EQ(sub.size(), 9u);
+  for (const auto a : sub) {
+    EXPECT_EQ(K.pow(a, 9), a);
+  }
+}
+
+TEST(FieldTable, SubfieldRejectsBadOrder) {
+  const FieldTable K = FieldTable::make(2, 4);
+  EXPECT_THROW(K.subfield(8), PreconditionError);  // 2³: 3 does not divide 4
+  EXPECT_THROW(K.subfield(3), PreconditionError);  // wrong characteristic
+}
+
+TEST(FieldTable, PowMatchesRepeatedMul) {
+  const FieldTable K = FieldTable::make_order(27);
+  for (std::uint64_t a = 0; a < 27; ++a) {
+    std::uint64_t acc = K.one();
+    for (std::uint64_t e = 0; e <= 6; ++e) {
+      EXPECT_EQ(K.pow(a, e), acc) << "a=" << a << " e=" << e;
+      acc = K.mul(acc, a);
+    }
+  }
+}
+
+TEST(FieldTable, DivIsMulByInverse) {
+  const FieldTable K = FieldTable::make_order(8);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 1; b < 8; ++b) {
+      EXPECT_EQ(K.mul(K.div(a, b), b), a);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sttsv::gf

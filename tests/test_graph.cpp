@@ -1,0 +1,228 @@
+// Graph algorithm tests: bipartite structures, Hopcroft-Karp, regular
+// matching decomposition (Lemma 7.2.1), Dinic max-flow, quota assignment.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/bipartite.hpp"
+#include "graph/matching.hpp"
+#include "graph/max_flow.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace sttsv::graph {
+namespace {
+
+TEST(BipartiteGraph, DegreesAndAccessors) {
+  BipartiteGraph g(3, 2);
+  const auto e0 = g.add_edge(0, 1);
+  g.add_edge(0, 0);
+  g.add_edge(2, 1);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.left_degree(0), 2u);
+  EXPECT_EQ(g.left_degree(1), 0u);
+  EXPECT_EQ(g.right_degree(1), 2u);
+  EXPECT_EQ(g.head(e0), 1u);
+  EXPECT_EQ(g.tail(e0), 0u);
+  EXPECT_THROW(g.add_edge(3, 0), PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 2), PreconditionError);
+}
+
+TEST(BipartiteGraph, MultiEdgesCounted) {
+  BipartiteGraph g(1, 1);
+  g.add_edge(0, 0);
+  g.add_edge(0, 0);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.left_degree(0), 2u);
+  EXPECT_EQ(g.right_degree(0), 2u);
+  EXPECT_TRUE(g.is_regular(2));
+  EXPECT_FALSE(g.is_regular(1));
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnCycle) {
+  // 4-cycle as bipartite: L={0,1}, R={0,1}, edges 0-0, 0-1, 1-0, 1-1.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 1);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 2u);
+  EXPECT_NE(m.right_of(g, 0), m.right_of(g, 1));
+}
+
+TEST(HopcroftKarp, MaximumNotPerfect) {
+  // Two left vertices compete for one right vertex.
+  BipartiteGraph g(2, 1);
+  g.add_edge(0, 0);
+  g.add_edge(1, 0);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 1u);
+}
+
+TEST(HopcroftKarp, EmptyGraph) {
+  BipartiteGraph g(3, 3);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 0u);
+  for (std::size_t u = 0; u < 3; ++u) {
+    EXPECT_EQ(m.left_edge[u], kNone);
+  }
+}
+
+TEST(HopcroftKarp, DisabledEdgesExcluded) {
+  BipartiteGraph g(1, 1);
+  const auto e = g.add_edge(0, 0);
+  std::vector<bool> disabled(g.num_edges(), false);
+  disabled[e] = true;
+  EXPECT_EQ(hopcroft_karp(g, disabled).size, 0u);
+  EXPECT_EQ(hopcroft_karp(g).size, 1u);
+}
+
+TEST(HopcroftKarp, RandomGraphsMatchGreedyLowerBound) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 5 + rng.next_below(15);
+    BipartiteGraph g(n, n);
+    for (std::size_t u = 0; u < n; ++u) {
+      const std::size_t deg = 1 + rng.next_below(4);
+      for (std::size_t d = 0; d < deg; ++d) {
+        g.add_edge(u, rng.next_below(n));
+      }
+    }
+    const Matching m = hopcroft_karp(g);
+    // Greedy matching is a 1/2-approximation; HK must be at least as large.
+    std::vector<bool> used(n, false);
+    std::size_t greedy = 0;
+    for (std::size_t u = 0; u < n; ++u) {
+      for (const auto e : g.edges_of(u)) {
+        if (!used[g.head(e)]) {
+          used[g.head(e)] = true;
+          ++greedy;
+          break;
+        }
+      }
+    }
+    EXPECT_GE(m.size, greedy);
+  }
+}
+
+TEST(MatchingDecomposition, CompleteBipartiteK33) {
+  // K_{3,3} is 3-regular: decomposes into exactly 3 perfect matchings.
+  BipartiteGraph g(3, 3);
+  for (std::size_t u = 0; u < 3; ++u) {
+    for (std::size_t v = 0; v < 3; ++v) g.add_edge(u, v);
+  }
+  const auto rounds = matching_decomposition(g);
+  ASSERT_EQ(rounds.size(), 3u);
+  std::set<std::size_t> edges_used;
+  for (const auto& m : rounds) {
+    EXPECT_EQ(m.size, 3u);
+    for (std::size_t u = 0; u < 3; ++u) edges_used.insert(m.left_edge[u]);
+  }
+  EXPECT_EQ(edges_used.size(), 9u);
+}
+
+TEST(MatchingDecomposition, RegularMultigraph) {
+  // 2 vertices each side, double edges: 2-regular multigraph.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 0);
+  const auto rounds = matching_decomposition(g);
+  ASSERT_EQ(rounds.size(), 2u);
+  for (const auto& m : rounds) {
+    EXPECT_EQ(m.right_of(g, 0), 1u);
+    EXPECT_EQ(m.right_of(g, 1), 0u);
+  }
+}
+
+TEST(MatchingDecomposition, RejectsIrregular) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // left degrees 2 and 1
+  EXPECT_THROW(matching_decomposition(g), InternalError);
+}
+
+TEST(MatchingDecomposition, RandomRegularGraphs) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 4 + rng.next_below(8);
+    const std::size_t d = 1 + rng.next_below(4);
+    // Build a d-regular bipartite multigraph as a union of d random
+    // permutations — always decomposable.
+    BipartiteGraph g(n, n);
+    for (std::size_t round = 0; round < d; ++round) {
+      std::vector<std::size_t> perm(n);
+      for (std::size_t v = 0; v < n; ++v) perm[v] = v;
+      rng.shuffle(perm);
+      for (std::size_t u = 0; u < n; ++u) g.add_edge(u, perm[u]);
+    }
+    const auto rounds = matching_decomposition(g);
+    EXPECT_EQ(rounds.size(), d);
+    for (const auto& m : rounds) EXPECT_EQ(m.size, n);
+  }
+}
+
+TEST(MaxFlow, SimplePath) {
+  MaxFlow f(3);
+  f.add_edge(0, 1, 5);
+  f.add_edge(1, 2, 3);
+  EXPECT_EQ(f.run(0, 2), 3);
+}
+
+TEST(MaxFlow, ParallelPathsAndFlowOn) {
+  MaxFlow f(4);
+  const auto top = f.add_edge(0, 1, 2);
+  const auto bottom = f.add_edge(0, 2, 2);
+  f.add_edge(1, 3, 2);
+  f.add_edge(2, 3, 1);
+  EXPECT_EQ(f.run(0, 3), 3);
+  EXPECT_EQ(f.flow_on(top), 2);
+  EXPECT_EQ(f.flow_on(bottom), 1);
+}
+
+TEST(MaxFlow, RunOnlyOnce) {
+  MaxFlow f(2);
+  f.add_edge(0, 1, 1);
+  EXPECT_EQ(f.run(0, 1), 1);
+  EXPECT_THROW(f.run(0, 1), PreconditionError);
+}
+
+TEST(AssignWithQuotas, BalancedAssignment) {
+  // 2 bins, 4 items, all compatible, quota 2 each.
+  BipartiteGraph g(2, 4);
+  for (std::size_t u = 0; u < 2; ++u) {
+    for (std::size_t v = 0; v < 4; ++v) g.add_edge(u, v);
+  }
+  const auto owners = assign_with_quotas(g, {2, 2});
+  ASSERT_EQ(owners.size(), 4u);
+  EXPECT_EQ(std::count(owners.begin(), owners.end(), 0u), 2);
+  EXPECT_EQ(std::count(owners.begin(), owners.end(), 1u), 2);
+}
+
+TEST(AssignWithQuotas, RespectsCompatibility) {
+  // Item 0 only fits bin 1.
+  BipartiteGraph g(2, 2);
+  g.add_edge(1, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 1);
+  const auto owners = assign_with_quotas(g, {1, 1});
+  EXPECT_EQ(owners[0], 1u);
+  EXPECT_EQ(owners[1], 0u);
+}
+
+TEST(AssignWithQuotas, InfeasibleThrows) {
+  // 3 items, quotas sum to 2.
+  BipartiteGraph g(2, 3);
+  for (std::size_t u = 0; u < 2; ++u) {
+    for (std::size_t v = 0; v < 3; ++v) g.add_edge(u, v);
+  }
+  EXPECT_THROW(assign_with_quotas(g, {1, 1}), InternalError);
+}
+
+}  // namespace
+}  // namespace sttsv::graph

@@ -1,0 +1,173 @@
+// Two-level memory model tests: LRU mechanics, and the sequential STTSV
+// I/O schedules — correctness, compulsory-traffic accounting, tile-size
+// scaling, and capacity monotonicity.
+
+#include <gtest/gtest.h>
+
+#include "core/sttsv_seq.hpp"
+#include "iosim/fast_memory.hpp"
+#include "iosim/sequential_io.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "tensor/generators.hpp"
+
+namespace sttsv::iosim {
+namespace {
+
+TEST(FastMemory, ColdReadLoadsOnceThenHits) {
+  FastMemory mem(100);
+  mem.read({0, 1}, 10);
+  EXPECT_EQ(mem.stats().loads, 10u);
+  EXPECT_EQ(mem.stats().hits, 0u);
+  mem.read({0, 1}, 10);
+  EXPECT_EQ(mem.stats().loads, 10u);
+  EXPECT_EQ(mem.stats().hits, 1u);
+}
+
+TEST(FastMemory, LruEvictsOldest) {
+  FastMemory mem(20);
+  mem.read({0, 1}, 10);
+  mem.read({0, 2}, 10);
+  mem.read({0, 1}, 10);  // 1 now most recent
+  mem.read({0, 3}, 10);  // evicts 2
+  EXPECT_EQ(mem.stats().evictions, 1u);
+  mem.read({0, 1}, 10);  // still resident
+  EXPECT_EQ(mem.stats().loads, 30u);
+  mem.read({0, 2}, 10);  // reloaded
+  EXPECT_EQ(mem.stats().loads, 40u);
+}
+
+TEST(FastMemory, DirtyEvictionStores) {
+  FastMemory mem(10);
+  mem.write({1, 0}, 10);
+  EXPECT_EQ(mem.stats().stores, 0u);
+  mem.read({0, 0}, 10);  // evicts the dirty segment
+  EXPECT_EQ(mem.stats().stores, 10u);
+}
+
+TEST(FastMemory, WriteNoAllocateSkipsLoad) {
+  FastMemory mem(10);
+  mem.write_no_allocate({1, 0}, 10);
+  EXPECT_EQ(mem.stats().loads, 0u);
+  mem.flush();
+  EXPECT_EQ(mem.stats().stores, 10u);
+}
+
+TEST(FastMemory, FlushIdempotent) {
+  FastMemory mem(10);
+  mem.write({1, 0}, 5);
+  mem.flush();
+  mem.flush();
+  EXPECT_EQ(mem.stats().stores, 5u);
+}
+
+TEST(FastMemory, OversizeSegmentRejected) {
+  FastMemory mem(4);
+  EXPECT_THROW(mem.read({0, 0}, 5), PreconditionError);
+}
+
+TEST(FastMemory, InconsistentSegmentSizeRejected) {
+  FastMemory mem(100);
+  mem.read({0, 0}, 4);
+  EXPECT_THROW(mem.read({0, 0}, 5), PreconditionError);
+}
+
+class IoSchedules : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IoSchedules, BothProduceCorrectY) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+  const auto y_ref = core::sttsv_packed(a, x);
+
+  const auto blocked = blocked_sttsv_io(a, x, 4, 1024);
+  const auto streaming = streaming_sttsv_io(a, x, 64);
+  ASSERT_EQ(blocked.y.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(blocked.y[i], y_ref[i], 1e-11);
+    EXPECT_NEAR(streaming.y[i], y_ref[i], 1e-11);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IoSchedules,
+                         ::testing::Values(5, 12, 17, 32));
+
+TEST(BlockedIo, TensorStreamsExactlyOnce) {
+  const std::size_t n = 24;
+  Rng rng(1);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+  const auto res = blocked_sttsv_io(a, x, 4, 512);
+  EXPECT_EQ(res.tensor_words, a.packed_size());
+  EXPECT_EQ(res.stats.traffic(), res.tensor_words + res.vector_traffic);
+}
+
+TEST(BlockedIo, VectorTrafficWithinColdTileBound) {
+  const std::size_t n = 48;
+  Rng rng(2);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+  for (const std::size_t b : {2u, 4u, 8u}) {
+    const auto res = blocked_sttsv_io(a, x, b, 6 * b);
+    EXPECT_LE(static_cast<double>(res.vector_traffic),
+              blocked_vector_traffic_bound(n, b) * 1.01)
+        << "b=" << b;
+  }
+}
+
+TEST(BlockedIo, TrafficFallsWithTileSize) {
+  // Vector traffic ~ n³/b²: doubling b should cut it by ~4x (until the
+  // whole vector fits, where it floors at ~2n).
+  const std::size_t n = 64;
+  Rng rng(3);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+  std::uint64_t prev = UINT64_MAX;
+  for (const std::size_t b : {1u, 2u, 4u, 8u, 16u}) {
+    const auto res = blocked_sttsv_io(a, x, b, 6 * b);
+    EXPECT_LT(res.vector_traffic, prev) << "b=" << b;
+    prev = res.vector_traffic;
+  }
+}
+
+TEST(BlockedIo, MoreCapacityNeverHurts) {
+  const std::size_t n = 40;
+  Rng rng(4);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+  std::uint64_t prev = UINT64_MAX;
+  for (const std::size_t cap : {24u, 48u, 96u, 192u, 384u}) {
+    const auto res = blocked_sttsv_io(a, x, 4, cap);
+    EXPECT_LE(res.vector_traffic, prev) << "cap=" << cap;
+    prev = res.vector_traffic;
+  }
+}
+
+TEST(StreamingIo, ThrashesWhenVectorExceedsCache) {
+  const std::size_t n = 64;
+  Rng rng(5);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+  // Big cache: every x/y element loaded once -> vector traffic ~ 2n
+  // loads + n stores.
+  const auto roomy = streaming_sttsv_io(a, x, 4 * n);
+  EXPECT_LE(roomy.vector_traffic, 4u * n);
+  // Tiny cache: the k-sweeps evict continuously; traffic explodes.
+  const auto tiny = streaming_sttsv_io(a, x, 8);
+  EXPECT_GT(tiny.vector_traffic, 50u * n);
+}
+
+TEST(BlockedVsStreaming, BlockedWinsUnderSmallCache) {
+  const std::size_t n = 64;
+  Rng rng(6);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+  const std::size_t cap = 64;  // much smaller than 2n = 128
+  const auto blocked = blocked_sttsv_io(a, x, cap / 6, cap);
+  const auto streaming = streaming_sttsv_io(a, x, cap);
+  EXPECT_LT(blocked.vector_traffic, streaming.vector_traffic);
+}
+
+}  // namespace
+}  // namespace sttsv::iosim

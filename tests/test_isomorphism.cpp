@@ -1,0 +1,96 @@
+// Isomorphism tests, including the headline check: our spherical q=3
+// construction is isomorphic to the EXACT S(10,4,3) design printed in
+// the paper's Table 1 — so the reproduced partition is the paper's up to
+// a point relabeling we can exhibit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "steiner/constructions.hpp"
+#include "steiner/isomorphism.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace sttsv::steiner {
+namespace {
+
+/// The R_p column of paper Table 1 (1-based in the paper).
+SteinerSystem paper_table1_system() {
+  const std::vector<std::vector<std::size_t>> rows = {
+      {1, 2, 3, 7},  {1, 2, 4, 5},  {1, 2, 6, 10}, {1, 2, 8, 9},
+      {1, 3, 4, 10}, {1, 3, 5, 8},  {1, 3, 6, 9},  {1, 4, 6, 8},
+      {1, 4, 7, 9},  {1, 5, 6, 7},  {1, 5, 9, 10}, {1, 7, 8, 10},
+      {2, 3, 4, 8},  {2, 3, 5, 6},  {2, 3, 9, 10}, {2, 4, 6, 9},
+      {2, 4, 7, 10}, {2, 5, 7, 9},  {2, 5, 8, 10}, {2, 6, 7, 8},
+      {3, 4, 5, 9},  {3, 4, 6, 7},  {3, 5, 7, 10}, {3, 6, 8, 10},
+      {3, 7, 8, 9},  {4, 5, 6, 10}, {4, 5, 7, 8},  {4, 8, 9, 10},
+      {5, 6, 8, 9},  {6, 7, 9, 10}};
+  std::vector<std::vector<std::size_t>> blocks;
+  for (auto row : rows) {
+    for (auto& v : row) --v;
+    blocks.push_back(row);
+  }
+  std::sort(blocks.begin(), blocks.end());
+  return SteinerSystem(10, 4, std::move(blocks));
+}
+
+TEST(PaperTable1Design, IsAValidSteinerSystem) {
+  const auto sys = paper_table1_system();
+  sys.verify();  // the paper's own table is a valid S(10,4,3)
+}
+
+TEST(PaperTable1Design, IsomorphicToOurSphericalConstruction) {
+  const auto paper = paper_table1_system();
+  const auto ours = spherical_system(3);
+  const auto perm = find_isomorphism(ours, paper);
+  ASSERT_TRUE(perm.has_value())
+      << "S(10,4,3) is unique up to isomorphism; a mapping must exist";
+  // Applying the permutation must give the paper's block set exactly.
+  const auto relabeled = relabel(ours, *perm);
+  EXPECT_EQ(relabeled.blocks(), paper.blocks());
+}
+
+TEST(Isomorphism, IdentityOnSelf) {
+  const auto sys = boolean_quadruple_system(3);
+  const auto perm = find_isomorphism(sys, sys);
+  ASSERT_TRUE(perm.has_value());
+  EXPECT_EQ(relabel(sys, *perm).blocks(), sys.blocks());
+}
+
+TEST(Isomorphism, DetectsUnderRandomRelabeling) {
+  Rng rng(5);
+  const auto sys = spherical_system(2);
+  PointPermutation perm(sys.num_points());
+  for (std::size_t p = 0; p < perm.size(); ++p) perm[p] = p;
+  rng.shuffle(perm);
+  const auto shuffled = relabel(sys, perm);
+  const auto found = find_isomorphism(sys, shuffled);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(relabel(sys, *found).blocks(), shuffled.blocks());
+}
+
+TEST(Isomorphism, RejectsDifferentParameters) {
+  const auto a = spherical_system(2);          // S(5,3,3)
+  const auto b = boolean_quadruple_system(3);  // S(8,4,3)
+  EXPECT_FALSE(find_isomorphism(a, b).has_value());
+}
+
+TEST(Isomorphism, SphericalAndTrivialCoincideAtQ2) {
+  // S(5,3,3) from the spherical construction is ALL triples of 5 points
+  // — the same design as the trivial family.
+  const auto spherical = spherical_system(2);
+  const auto trivial = trivial_triple_system(5);
+  const auto perm = find_isomorphism(spherical, trivial);
+  ASSERT_TRUE(perm.has_value());
+}
+
+TEST(Relabel, RejectsBadPermutation) {
+  const auto sys = trivial_triple_system(4);
+  EXPECT_THROW(relabel(sys, PointPermutation{0, 1}), PreconditionError);
+  EXPECT_THROW(relabel(sys, PointPermutation{0, 1, 2, 9}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace sttsv::steiner

@@ -1,0 +1,145 @@
+// Direct checks against the paper's printed artifacts:
+//  * Table 3's R_p column IS the Boolean quadruple system on 8 points
+//    (after the paper's 1-based -> 0-based relabeling) — exact match.
+//  * Table 1/2's structural content for the Steiner (10,4,3) partition
+//    (m=10, P=30): all row/column invariants the tables display.
+//  * Figure 1: 12 communication steps for the m=8, P=14 partition.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "partition/tetra_partition.hpp"
+#include "schedule/comm_schedule.hpp"
+#include "steiner/constructions.hpp"
+
+namespace sttsv {
+namespace {
+
+using steiner::boolean_quadruple_system;
+using steiner::spherical_system;
+
+TEST(PaperTable3, BlocksExactlyMatchPaper) {
+  // Paper Table 3 R_p sets, 1-based.
+  const std::vector<std::vector<std::size_t>> paper = {
+      {1, 2, 3, 4}, {1, 2, 5, 6}, {1, 2, 7, 8}, {1, 3, 5, 7},
+      {1, 3, 6, 8}, {1, 4, 5, 8}, {1, 4, 6, 7}, {2, 3, 5, 8},
+      {2, 3, 6, 7}, {2, 4, 5, 7}, {2, 4, 6, 8}, {3, 4, 5, 6},
+      {3, 4, 7, 8}, {5, 6, 7, 8}};
+  std::set<std::vector<std::size_t>> paper_zero_based;
+  for (auto blk : paper) {
+    for (auto& v : blk) --v;
+    paper_zero_based.insert(blk);
+  }
+
+  const auto sys = boolean_quadruple_system(3);
+  std::set<std::vector<std::size_t>> ours(sys.blocks().begin(),
+                                          sys.blocks().end());
+  EXPECT_EQ(ours, paper_zero_based);
+}
+
+TEST(PaperTable3, QiColumnSizes) {
+  // Table 3 right columns: every Q_i lists exactly 7 processors.
+  const auto part =
+      partition::TetraPartition::build(boolean_quadruple_system(3));
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(part.Q(i).size(), 7u);
+  }
+}
+
+TEST(PaperTable3, DiagonalAssignmentShape) {
+  // Paper assigns 4 non-central diagonal blocks per processor and 8
+  // central blocks total (to 8 of the 14 processors).
+  const auto part =
+      partition::TetraPartition::build(boolean_quadruple_system(3));
+  std::size_t central_total = 0;
+  for (std::size_t p = 0; p < 14; ++p) {
+    EXPECT_EQ(part.N(p).size(), 4u) << "p=" << p;
+    EXPECT_LE(part.D(p).size(), 1u);
+    central_total += part.D(p).size();
+  }
+  EXPECT_EQ(central_total, 8u);
+}
+
+TEST(PaperTable1, StructuralInvariants) {
+  // Table 1 displays, for m=10/P=30: |R_p| = 4 for all 30 processors,
+  // |N_p| = 3 (q = 3 non-central diagonal blocks each), 10 central blocks
+  // spread at most one per processor. S(10,4,3) is unique up to
+  // relabeling, so these invariants pin the table's content.
+  const auto part = partition::TetraPartition::build(spherical_system(3));
+  ASSERT_EQ(part.num_processors(), 30u);
+  ASSERT_EQ(part.num_row_blocks(), 10u);
+  std::size_t central_total = 0;
+  for (std::size_t p = 0; p < 30; ++p) {
+    EXPECT_EQ(part.R(p).size(), 4u);
+    EXPECT_EQ(part.N(p).size(), 3u);
+    EXPECT_LE(part.D(p).size(), 1u);
+    central_total += part.D(p).size();
+    // Diagonal blocks only use indices from R_p (the compatibility that
+    // makes Table 1 work).
+    const auto& Rp = part.R(p);
+    for (const auto& c : part.N(p)) {
+      EXPECT_TRUE(std::binary_search(Rp.begin(), Rp.end(), c.i));
+      EXPECT_TRUE(std::binary_search(Rp.begin(), Rp.end(), c.k));
+    }
+  }
+  EXPECT_EQ(central_total, 10u);
+}
+
+TEST(PaperTable2, RowBlockSetsTwelveProcessorsEach) {
+  // Table 2: every row block i is required by exactly 12 processors and
+  // each processor appears in exactly 4 of the Q_i (|R_p| = 4).
+  const auto part = partition::TetraPartition::build(spherical_system(3));
+  std::vector<std::size_t> appearances(30, 0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(part.Q(i).size(), 12u) << "i=" << i;
+    for (const auto p : part.Q(i)) ++appearances[p];
+  }
+  for (std::size_t p = 0; p < 30; ++p) {
+    EXPECT_EQ(appearances[p], 4u);
+  }
+}
+
+TEST(PaperFigure1, TwelveStepSchedule) {
+  // Appendix A: all data transfers for the Table 3 partition complete in
+  // 12 steps (< P-1 = 13), each processor sending and receiving exactly
+  // one message per step.
+  const auto part =
+      partition::TetraPartition::build(boolean_quadruple_system(3));
+  const auto sched = schedule::build_schedule(part);
+  EXPECT_EQ(sched.num_rounds(), 12u);
+  sched.validate(part);
+  for (const auto& round : sched.rounds()) {
+    std::size_t senders = 0;
+    std::vector<bool> recv(14, false);
+    for (std::size_t p = 0; p < 14; ++p) {
+      if (round.send_to[p] == graph::kNone) continue;
+      ++senders;
+      EXPECT_FALSE(recv[round.send_to[p]]);
+      recv[round.send_to[p]] = true;
+    }
+    EXPECT_EQ(senders, 14u);  // everyone active every step, as in Figure 1
+  }
+}
+
+TEST(PaperSection6, BlockCountFormulas) {
+  // Section 6.1: (q²+1)(q²+2)(q²+3)/6 lower-tetra blocks split into
+  // (q²+1)q²(q²-1)/6 off-diagonal + q²(q²+1) non-central + (q²+1) central.
+  for (const std::size_t q : {2u, 3u, 4u}) {
+    const std::size_t m = q * q + 1;
+    EXPECT_EQ(partition::num_off_diagonal_blocks(m),
+              m * q * q * (q * q - 1) / 6);
+    EXPECT_EQ(partition::num_non_central_diagonal_blocks(m), q * q * m);
+    EXPECT_EQ(partition::num_central_diagonal_blocks(m), m);
+    EXPECT_EQ(partition::num_off_diagonal_blocks(m) +
+                  partition::num_non_central_diagonal_blocks(m) +
+                  partition::num_central_diagonal_blocks(m),
+              m * (m + 1) * (m + 2) / 6);
+  }
+}
+
+}  // namespace
+}  // namespace sttsv

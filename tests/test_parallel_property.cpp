@@ -1,0 +1,117 @@
+// Property sweep: parallel STTSV == sequential reference across a grid of
+// families × sizes × transports × tensor generators, with ledger
+// invariants checked on every run. This is the broad randomized net that
+// complements the targeted tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/costs.hpp"
+#include "core/parallel_sttsv.hpp"
+#include "core/sttsv_seq.hpp"
+#include "partition/tetra_partition.hpp"
+#include "partition/vector_distribution.hpp"
+#include "steiner/constructions.hpp"
+#include "support/rng.hpp"
+#include "tensor/generators.hpp"
+
+namespace sttsv::core {
+namespace {
+
+struct SweepCase {
+  std::string family;  // "spherical:q" / "boolean:k" / "triples:m"
+  std::size_t param;
+  std::size_t n;
+  simt::Transport transport;
+  std::string generator;  // "random" / "lowrank" / "hilbert" / "diag"
+
+  friend std::ostream& operator<<(std::ostream& os, const SweepCase& c) {
+    return os << c.family << c.param << "_n" << c.n << "_"
+              << (c.transport == simt::Transport::kPointToPoint ? "p2p"
+                                                                : "a2a")
+              << "_" << c.generator;
+  }
+};
+
+steiner::SteinerSystem make_system(const SweepCase& c) {
+  if (c.family == "spherical") return steiner::spherical_system(c.param);
+  if (c.family == "boolean") {
+    return steiner::boolean_quadruple_system(
+        static_cast<unsigned>(c.param));
+  }
+  return steiner::trivial_triple_system(c.param);
+}
+
+tensor::SymTensor3 make_tensor(const SweepCase& c, Rng& rng) {
+  if (c.generator == "lowrank") {
+    return tensor::random_low_rank(c.n, {2.0, -1.0, 0.5}, rng, nullptr);
+  }
+  if (c.generator == "hilbert") return tensor::hilbert_like(c.n);
+  if (c.generator == "diag") {
+    return tensor::super_diagonal(rng.uniform_vector(c.n, -2.0, 2.0));
+  }
+  return tensor::random_symmetric(c.n, rng);
+}
+
+class ParallelSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ParallelSweep, MatchesReferenceWithLedgerInvariants) {
+  const SweepCase c = GetParam();
+  const auto part = partition::TetraPartition::build(make_system(c));
+  const partition::VectorDistribution dist(part, c.n);
+  Rng rng(c.n * 131 + c.param);
+  const auto a = make_tensor(c, rng);
+  const auto x = rng.uniform_vector(c.n);
+
+  simt::Machine machine(part.num_processors());
+  const auto result = parallel_sttsv(machine, part, dist, a, x, c.transport);
+  const auto y_ref = sttsv_packed(a, x);
+
+  ASSERT_EQ(result.y.size(), c.n);
+  double scale = 0.0;
+  for (const double v : y_ref) scale = std::max(scale, std::abs(v));
+  for (std::size_t i = 0; i < c.n; ++i) {
+    EXPECT_NEAR(result.y[i], y_ref[i], 1e-11 * std::max(1.0, scale))
+        << "i=" << i;
+  }
+
+  // Ledger invariants on every run.
+  machine.ledger().verify_conservation();
+  std::uint64_t total = 0;
+  for (const auto t : result.ternary_mults) total += t;
+  EXPECT_EQ(total, symmetric_ternary_mults(c.n));
+  // Tensor never moves: total words bounded by 2 vectors' worth of
+  // maximal replication (λ₁ per element), far below tensor size.
+  const auto lambda1 = part.system().point_replication();
+  EXPECT_LE(machine.ledger().total_words(),
+            2 * lambda1 * dist.padded_n());
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  const std::vector<std::pair<std::string, std::size_t>> families = {
+      {"spherical", 2}, {"spherical", 3}, {"boolean", 3}, {"triples", 6}};
+  const std::vector<std::size_t> sizes = {11, 40, 61};
+  const std::vector<std::string> gens = {"random", "lowrank", "hilbert",
+                                         "diag"};
+  for (const auto& [family, param] : families) {
+    for (const std::size_t n : sizes) {
+      for (const auto& gen : gens) {
+        cases.push_back(SweepCase{family, param, n,
+                                  simt::Transport::kPointToPoint, gen});
+      }
+      // One All-to-All case per family/size to keep runtime modest.
+      cases.push_back(SweepCase{family, param, n,
+                                simt::Transport::kAllToAll, "random"});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ParallelSweep,
+                         ::testing::ValuesIn(sweep_cases()));
+
+}  // namespace
+}  // namespace sttsv::core

@@ -1,0 +1,116 @@
+// Projective line / PGL₂ action tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "projective/projective_line.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::proj {
+namespace {
+
+TEST(ProjectiveLine, PointCount) {
+  const auto line = ProjectiveLine::over_order(5);
+  EXPECT_EQ(line.num_points(), 6u);
+  EXPECT_EQ(line.infinity(), 5u);
+  EXPECT_TRUE(line.is_infinity(5));
+  EXPECT_FALSE(line.is_infinity(0));
+}
+
+TEST(ProjectiveLine, IdentityFixesEverything) {
+  const auto line = ProjectiveLine::over_order(7);
+  const Mobius id{};
+  for (std::size_t pt = 0; pt < line.num_points(); ++pt) {
+    EXPECT_EQ(line.apply(id, pt), pt);
+  }
+}
+
+TEST(ProjectiveLine, InversionSwapsZeroAndInfinity) {
+  const auto line = ProjectiveLine::over_order(4);
+  const Mobius inv{0, 1, 1, 0};  // z -> 1/z
+  EXPECT_EQ(line.apply(inv, 0), line.infinity());
+  EXPECT_EQ(line.apply(inv, line.infinity()), 0u);
+  EXPECT_EQ(line.apply(inv, 1), 1u);  // 1/1 == 1
+}
+
+TEST(ProjectiveLine, TranslationFixesInfinityOnly) {
+  const auto line = ProjectiveLine::over_order(9);
+  const Mobius t{1, 1, 0, 1};  // z -> z + 1
+  EXPECT_EQ(line.apply(t, line.infinity()), line.infinity());
+  std::size_t fixed = 0;
+  for (std::size_t pt = 0; pt < line.num_points(); ++pt) {
+    if (line.apply(t, pt) == pt) ++fixed;
+  }
+  EXPECT_EQ(fixed, 1u);
+}
+
+class GeneratorsBijective : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorsBijective, EveryGeneratorPermutesTheLine) {
+  const auto line = ProjectiveLine::over_order(GetParam());
+  for (const Mobius& g : line.standard_generators()) {
+    std::set<std::size_t> image;
+    for (std::size_t pt = 0; pt < line.num_points(); ++pt) {
+      image.insert(line.apply(g, pt));
+    }
+    EXPECT_EQ(image.size(), line.num_points());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GeneratorsBijective,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 16, 25));
+
+TEST(ProjectiveLine, ComposeMatchesSequentialApplication) {
+  const auto line = ProjectiveLine::over_order(8);
+  const auto gens = line.standard_generators();
+  for (const Mobius& g1 : gens) {
+    for (const Mobius& g2 : gens) {
+      const Mobius combo = line.compose(g1, g2);
+      for (std::size_t pt = 0; pt < line.num_points(); ++pt) {
+        EXPECT_EQ(line.apply(combo, pt), line.apply(g1, line.apply(g2, pt)));
+      }
+    }
+  }
+}
+
+TEST(ProjectiveLine, InverseUndoesMap) {
+  const auto line = ProjectiveLine::over_order(9);
+  for (const Mobius& g : line.standard_generators()) {
+    const Mobius ginv = line.inverse(g);
+    for (std::size_t pt = 0; pt < line.num_points(); ++pt) {
+      EXPECT_EQ(line.apply(ginv, line.apply(g, pt)), pt);
+    }
+  }
+}
+
+TEST(ProjectiveLine, NonInvertibleDetected) {
+  const auto line = ProjectiveLine::over_order(5);
+  const Mobius bad{2, 4, 1, 2};  // det = 4 - 4 = 0
+  EXPECT_FALSE(line.is_invertible(bad));
+  EXPECT_THROW(static_cast<void>(line.inverse(bad)), PreconditionError);
+}
+
+TEST(ProjectiveLine, SublineHasRightSizeAndInfinity) {
+  // GF(9) inside GF(81): subline of PG(1, 81).
+  const auto line = ProjectiveLine::over_order(81);
+  const auto sub = line.subline(9);
+  ASSERT_EQ(sub.size(), 10u);  // q + 1 points
+  EXPECT_TRUE(std::binary_search(sub.begin(), sub.end(), line.infinity()));
+  EXPECT_TRUE(std::binary_search(sub.begin(), sub.end(), std::size_t{0}));
+  EXPECT_TRUE(std::binary_search(sub.begin(), sub.end(), std::size_t{1}));
+}
+
+TEST(ProjectiveLine, ApplyToBlockPreservesSize) {
+  const auto line = ProjectiveLine::over_order(16);
+  const auto sub = line.subline(4);
+  for (const Mobius& g : line.standard_generators()) {
+    const auto image = line.apply_to_block(g, sub);
+    EXPECT_EQ(image.size(), sub.size());
+    EXPECT_TRUE(std::is_sorted(image.begin(), image.end()));
+  }
+}
+
+}  // namespace
+}  // namespace sttsv::proj

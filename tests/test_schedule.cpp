@@ -1,0 +1,111 @@
+// Communication schedule tests (Section 7.2.2 / Theorem 7.2.2 / Figure 1):
+// partner profiles match the paper's counts, schedules validate, and the
+// step totals match q³/2 + 3q²/2 - 1 (spherical) and 12 (Table 3 system).
+
+#include <gtest/gtest.h>
+
+#include "core/costs.hpp"
+#include "graph/bipartite.hpp"
+#include "partition/tetra_partition.hpp"
+#include "schedule/comm_schedule.hpp"
+#include "steiner/constructions.hpp"
+
+namespace sttsv::schedule {
+namespace {
+
+partition::TetraPartition spherical_partition(std::uint64_t q) {
+  return partition::TetraPartition::build(steiner::spherical_system(q));
+}
+
+class SphericalSchedule : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SphericalSchedule, PartnerProfileMatchesPaper) {
+  const std::uint64_t q = GetParam();
+  const auto part = spherical_partition(q);
+  for (std::size_t p = 0; p < part.num_processors(); ++p) {
+    const auto prof = partner_profile(part, p);
+    // Section 7.2.2: q²(q+1)/2 two-block partners, q²-1 one-block partners.
+    EXPECT_EQ(prof.two_block_partners, q * q * (q + 1) / 2) << "p=" << p;
+    EXPECT_EQ(prof.one_block_partners, q * q - 1) << "p=" << p;
+  }
+}
+
+TEST_P(SphericalSchedule, StepCountMatchesTheorem722) {
+  const std::uint64_t q = GetParam();
+  const auto part = spherical_partition(q);
+  const CommSchedule sched = build_schedule(part);
+  EXPECT_EQ(sched.two_block_rounds(), q * q * (q + 1) / 2);
+  EXPECT_EQ(sched.one_block_rounds(), q * q - 1);
+  EXPECT_EQ(sched.num_rounds(), core::p2p_steps_per_vector(q));
+  // No more steps than an All-to-All needs (strictly fewer for q >= 3).
+  EXPECT_LE(sched.num_rounds(), part.num_processors() - 1);
+  if (q >= 3) {
+    EXPECT_LT(sched.num_rounds(), part.num_processors() - 1);
+  }
+  sched.validate(part);
+}
+
+INSTANTIATE_TEST_SUITE_P(Qs, SphericalSchedule, ::testing::Values(2, 3, 4));
+
+TEST(BooleanSchedule, Table3SystemTakesTwelveSteps) {
+  // Appendix A / Figure 1: the S(8,4,3) partition needs 12 steps < P-1=13.
+  const auto part =
+      partition::TetraPartition::build(steiner::boolean_quadruple_system(3));
+  for (std::size_t p = 0; p < part.num_processors(); ++p) {
+    const auto prof = partner_profile(part, p);
+    EXPECT_EQ(prof.two_block_partners, 12u);
+    EXPECT_EQ(prof.one_block_partners, 0u);
+  }
+  const CommSchedule sched = build_schedule(part);
+  EXPECT_EQ(sched.num_rounds(), 12u);
+  EXPECT_LT(sched.num_rounds(), part.num_processors() - 1);
+  sched.validate(part);
+}
+
+TEST(PairWeight, SymmetricAndBounded) {
+  const auto part = spherical_partition(3);
+  for (std::size_t p = 0; p < part.num_processors(); ++p) {
+    EXPECT_EQ(pair_weight(part, p, p), 0u);
+    for (std::size_t peer = p + 1; peer < part.num_processors(); ++peer) {
+      const auto w = pair_weight(part, p, peer);
+      EXPECT_LE(w, 2u);
+      EXPECT_EQ(w, pair_weight(part, peer, p));
+    }
+  }
+}
+
+TEST(Round, StepValidityDetection) {
+  Round good;
+  good.send_to = {1, 0, graph::kNone};
+  EXPECT_TRUE(good.is_valid_step());
+
+  Round self;
+  self.send_to = {0};
+  EXPECT_FALSE(self.is_valid_step());
+
+  Round collision;
+  collision.send_to = {2, 2, graph::kNone};
+  EXPECT_FALSE(collision.is_valid_step());
+
+  Round out_of_range;
+  out_of_range.send_to = {5, graph::kNone};
+  EXPECT_FALSE(out_of_range.is_valid_step());
+}
+
+TEST(Schedule, EveryRoundIsPermutationLike) {
+  const auto part = spherical_partition(2);
+  const CommSchedule sched = build_schedule(part);
+  for (const Round& r : sched.rounds()) {
+    // In each round every processor sends exactly one message and
+    // receives exactly one (the partner graphs are regular, so matchings
+    // are perfect).
+    std::size_t senders = 0;
+    for (const auto dest : r.send_to) {
+      if (dest != graph::kNone) ++senders;
+    }
+    EXPECT_EQ(senders, part.num_processors());
+  }
+}
+
+}  // namespace
+}  // namespace sttsv::schedule

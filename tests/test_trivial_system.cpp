@@ -1,0 +1,80 @@
+// Trivial S(m,3,3) family tests: valid for every m >= 4, drives the
+// partition machinery (with quota fallback for its irregular diagonal
+// replication), and executes parallel STTSV correctly.
+
+#include <gtest/gtest.h>
+
+#include "core/parallel_sttsv.hpp"
+#include "core/sttsv_seq.hpp"
+#include "partition/tetra_partition.hpp"
+#include "partition/vector_distribution.hpp"
+#include "steiner/constructions.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "tensor/generators.hpp"
+
+namespace sttsv::steiner {
+namespace {
+
+class TrivialSystem : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TrivialSystem, IsASteinerSystem) {
+  const std::size_t m = GetParam();
+  const auto sys = trivial_triple_system(m);
+  EXPECT_EQ(sys.num_points(), m);
+  EXPECT_EQ(sys.block_size(), 3u);
+  EXPECT_EQ(sys.num_blocks(), m * (m - 1) * (m - 2) / 6);
+  EXPECT_EQ(sys.pair_replication(), m - 2);
+  EXPECT_EQ(sys.point_replication(), (m - 1) * (m - 2) / 2);
+  sys.verify();
+}
+
+TEST_P(TrivialSystem, PartitionBuildsAndValidates) {
+  const std::size_t m = GetParam();
+  const auto part = partition::TetraPartition::build(trivial_triple_system(m));
+  part.validate();
+  // Every processor owns exactly one off-diagonal block: TB₃ of a
+  // 3-element set is a single coordinate.
+  for (std::size_t p = 0; p < part.num_processors(); ++p) {
+    EXPECT_EQ(partition::tetrahedral_block(part.R(p)).size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ms, TrivialSystem,
+                         ::testing::Values(4, 5, 6, 7, 8, 10));
+
+TEST(TrivialSystem, RejectsTooSmall) {
+  EXPECT_THROW(trivial_triple_system(3), PreconditionError);
+}
+
+TEST(TrivialSystem, ParallelSttsvCorrect) {
+  for (const std::size_t m : {4u, 6u, 7u}) {
+    const auto part =
+        partition::TetraPartition::build(trivial_triple_system(m));
+    const std::size_t n = m * 8 + 3;  // includes padding
+    const partition::VectorDistribution dist(part, n);
+    Rng rng(m);
+    const auto a = tensor::random_symmetric(n, rng);
+    const auto x = rng.uniform_vector(n);
+    simt::Machine machine(part.num_processors());
+    const auto result = core::parallel_sttsv(
+        machine, part, dist, a, x, simt::Transport::kPointToPoint);
+    const auto y_ref = core::sttsv_packed(a, x);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(result.y[i], y_ref[i], 1e-9) << "m=" << m << " i=" << i;
+    }
+  }
+}
+
+TEST(TrivialSystem, FinestPartitionHasHighestReplication) {
+  // λ₁ grows quadratically with m: the trivial family trades processor
+  // availability for vector replication — exactly why the paper prefers
+  // spherical systems when P fits one.
+  const auto t = trivial_triple_system(10);
+  const auto s = spherical_system(3);  // also m = 10
+  EXPECT_GT(t.point_replication(), s.point_replication());
+  EXPECT_GT(t.num_blocks(), s.num_blocks());
+}
+
+}  // namespace
+}  // namespace sttsv::steiner

@@ -1,0 +1,117 @@
+// Vector distribution tests (Section 6.1.2): shares tile each row block,
+// ownership lookups invert, per-rank totals equal n/P for divisible sizes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/bipartite.hpp"
+#include "partition/tetra_partition.hpp"
+#include "partition/vector_distribution.hpp"
+#include "steiner/constructions.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::partition {
+namespace {
+
+TetraPartition spherical_partition(std::uint64_t q) {
+  return TetraPartition::build(steiner::spherical_system(q));
+}
+
+TEST(VectorDistribution, DivisibleCaseMatchesPaperShareSizes) {
+  // q=2: m=5, P=10, |Q_i| = q(q+1) = 6. Choose b divisible by 6.
+  const auto part = spherical_partition(2);
+  const std::size_t b = 12;
+  const VectorDistribution dist(part, b * part.num_row_blocks());
+  EXPECT_EQ(dist.block_length_b(), b);
+  EXPECT_EQ(dist.padded_n(), dist.logical_n());
+  dist.validate();
+  // Every share is exactly b/(q(q+1)) = 2 words.
+  for (std::size_t i = 0; i < part.num_row_blocks(); ++i) {
+    for (const std::size_t p : part.Q(i)) {
+      EXPECT_EQ(dist.share(i, p).length, 2u);
+    }
+  }
+  // Each processor holds n/P elements of each vector (Section 6.1.2).
+  for (std::size_t p = 0; p < part.num_processors(); ++p) {
+    EXPECT_EQ(dist.local_elements(p),
+              dist.padded_n() / part.num_processors());
+  }
+}
+
+TEST(VectorDistribution, PaddingRoundsUp) {
+  const auto part = spherical_partition(2);  // m = 5
+  const VectorDistribution dist(part, 23);   // not divisible by 5
+  EXPECT_EQ(dist.block_length_b(), 5u);      // ceil(23/5)
+  EXPECT_EQ(dist.padded_n(), 25u);
+  dist.validate();
+}
+
+TEST(VectorDistribution, UnevenSharesStillTile) {
+  const auto part = spherical_partition(2);  // |Q_i| = 6
+  // b = 7 not divisible by 6: shares are 2,1,1,1,1,1.
+  const VectorDistribution dist(part, 7 * part.num_row_blocks());
+  dist.validate();
+  for (std::size_t i = 0; i < part.num_row_blocks(); ++i) {
+    std::size_t total = 0;
+    std::size_t longest = 0;
+    for (const std::size_t p : part.Q(i)) {
+      const auto s = dist.share(i, p);
+      total += s.length;
+      longest = std::max(longest, s.length);
+    }
+    EXPECT_EQ(total, 7u);
+    EXPECT_EQ(longest, 2u);
+  }
+}
+
+TEST(VectorDistribution, TinyVectorsZeroLengthShares) {
+  // b < |Q_i|: some processors own nothing from a block; still consistent.
+  const auto part = spherical_partition(2);
+  const VectorDistribution dist(part, 2 * part.num_row_blocks());
+  dist.validate();
+}
+
+TEST(VectorDistribution, OwnerLookupInvertsShares) {
+  const auto part = spherical_partition(3);
+  const VectorDistribution dist(part, 24 * part.num_row_blocks());
+  dist.validate();
+  for (std::size_t g = 0; g < dist.padded_n(); g += 7) {
+    const std::size_t p = dist.owner_of(g);
+    const std::size_t i = g / dist.block_length_b();
+    const auto s = dist.share(i, p);
+    const std::size_t off = g % dist.block_length_b();
+    EXPECT_GE(off, s.offset);
+    EXPECT_LT(off, s.offset + s.length);
+  }
+}
+
+TEST(VectorDistribution, RankInBlockRejectsOutsiders) {
+  const auto part = spherical_partition(2);
+  const VectorDistribution dist(part, 30);
+  // Find a processor not in Q_0.
+  std::size_t outsider = graph::kNone;
+  for (std::size_t p = 0; p < part.num_processors(); ++p) {
+    const auto& Q0 = part.Q(0);
+    if (!std::binary_search(Q0.begin(), Q0.end(), p)) {
+      outsider = p;
+      break;
+    }
+  }
+  ASSERT_NE(outsider, graph::kNone);
+  EXPECT_THROW(static_cast<void>(dist.rank_in_block(0, outsider)), PreconditionError);
+}
+
+TEST(VectorDistribution, BooleanFamilyWorksToo) {
+  const auto part =
+      TetraPartition::build(steiner::boolean_quadruple_system(3));
+  // |Q_i| = 7; pick b = 14.
+  const VectorDistribution dist(part, 14 * part.num_row_blocks());
+  dist.validate();
+  for (std::size_t p = 0; p < part.num_processors(); ++p) {
+    EXPECT_EQ(dist.local_elements(p), 4u * 2u);  // 4 blocks × b/7
+  }
+}
+
+}  // namespace
+}  // namespace sttsv::partition
