@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_all_to_all"
+  "../bench/bench_all_to_all.pdb"
+  "CMakeFiles/bench_all_to_all.dir/bench_all_to_all.cpp.o"
+  "CMakeFiles/bench_all_to_all.dir/bench_all_to_all.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_all_to_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_iosim"
+  "../bench/bench_iosim.pdb"
+  "CMakeFiles/bench_iosim.dir/bench_iosim.cpp.o"
+  "CMakeFiles/bench_iosim.dir/bench_iosim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mttkrp"
+  "../bench/bench_mttkrp.pdb"
+  "CMakeFiles/bench_mttkrp.dir/bench_mttkrp.cpp.o"
+  "CMakeFiles/bench_mttkrp.dir/bench_mttkrp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mttkrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_schedule_steps"
+  "../bench/bench_schedule_steps.pdb"
+  "CMakeFiles/bench_schedule_steps.dir/bench_schedule_steps.cpp.o"
+  "CMakeFiles/bench_schedule_steps.dir/bench_schedule_steps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schedule_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sttv_d"
+  "../bench/bench_sttv_d.pdb"
+  "CMakeFiles/bench_sttv_d.dir/bench_sttv_d.cpp.o"
+  "CMakeFiles/bench_sttv_d.dir/bench_sttv_d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sttv_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_triangle.cpp" "bench-objects/CMakeFiles/bench_triangle.dir/bench_triangle.cpp.o" "gcc" "bench-objects/CMakeFiles/bench_triangle.dir/bench_triangle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/sttsv_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/iosim/CMakeFiles/sttsv_iosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/sttsv_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/sttsv_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sttsv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sttsv_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/sttsv_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/projective/CMakeFiles/sttsv_projective.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/sttsv_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sttsv_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sttsv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/sttsv_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sttsv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_triangle"
+  "../bench/bench_triangle.pdb"
+  "CMakeFiles/bench_triangle.dir/bench_triangle.cpp.o"
+  "CMakeFiles/bench_triangle.dir/bench_triangle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_triangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_planner.dir/comm_planner.cpp.o"
+  "CMakeFiles/comm_planner.dir/comm_planner.cpp.o.d"
+  "comm_planner"
+  "comm_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

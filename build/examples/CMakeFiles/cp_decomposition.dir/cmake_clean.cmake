@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_decomposition.dir/cp_decomposition.cpp.o"
+  "CMakeFiles/cp_decomposition.dir/cp_decomposition.cpp.o.d"
+  "cp_decomposition"
+  "cp_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

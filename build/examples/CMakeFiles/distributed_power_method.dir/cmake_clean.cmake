@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_power_method.dir/distributed_power_method.cpp.o"
+  "CMakeFiles/distributed_power_method.dir/distributed_power_method.cpp.o.d"
+  "distributed_power_method"
+  "distributed_power_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_power_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

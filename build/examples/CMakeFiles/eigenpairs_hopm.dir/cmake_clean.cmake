@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigenpairs_hopm.dir/eigenpairs_hopm.cpp.o"
+  "CMakeFiles/eigenpairs_hopm.dir/eigenpairs_hopm.cpp.o.d"
+  "eigenpairs_hopm"
+  "eigenpairs_hopm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigenpairs_hopm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

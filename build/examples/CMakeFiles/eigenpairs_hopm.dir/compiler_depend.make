@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eigenpairs_hopm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for eigenpairs_hopm.
+# This may be replaced when dependencies are built.

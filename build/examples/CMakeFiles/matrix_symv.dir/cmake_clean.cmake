@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_symv.dir/matrix_symv.cpp.o"
+  "CMakeFiles/matrix_symv.dir/matrix_symv.cpp.o.d"
+  "matrix_symv"
+  "matrix_symv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_symv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsv_apps.dir/cp_decompose.cpp.o"
+  "CMakeFiles/sttsv_apps.dir/cp_decompose.cpp.o.d"
+  "CMakeFiles/sttsv_apps.dir/cp_gradient.cpp.o"
+  "CMakeFiles/sttsv_apps.dir/cp_gradient.cpp.o.d"
+  "CMakeFiles/sttsv_apps.dir/eigensearch.cpp.o"
+  "CMakeFiles/sttsv_apps.dir/eigensearch.cpp.o.d"
+  "CMakeFiles/sttsv_apps.dir/hopm.cpp.o"
+  "CMakeFiles/sttsv_apps.dir/hopm.cpp.o.d"
+  "CMakeFiles/sttsv_apps.dir/vec_ops.cpp.o"
+  "CMakeFiles/sttsv_apps.dir/vec_ops.cpp.o.d"
+  "libsttsv_apps.a"
+  "libsttsv_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsv_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

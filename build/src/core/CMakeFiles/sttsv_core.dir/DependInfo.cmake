@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/sttsv_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/sttsv_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/block_kernels.cpp" "src/core/CMakeFiles/sttsv_core.dir/block_kernels.cpp.o" "gcc" "src/core/CMakeFiles/sttsv_core.dir/block_kernels.cpp.o.d"
+  "/root/repo/src/core/comm_only.cpp" "src/core/CMakeFiles/sttsv_core.dir/comm_only.cpp.o" "gcc" "src/core/CMakeFiles/sttsv_core.dir/comm_only.cpp.o.d"
+  "/root/repo/src/core/costs.cpp" "src/core/CMakeFiles/sttsv_core.dir/costs.cpp.o" "gcc" "src/core/CMakeFiles/sttsv_core.dir/costs.cpp.o.d"
+  "/root/repo/src/core/distributed_vector.cpp" "src/core/CMakeFiles/sttsv_core.dir/distributed_vector.cpp.o" "gcc" "src/core/CMakeFiles/sttsv_core.dir/distributed_vector.cpp.o.d"
+  "/root/repo/src/core/geometry.cpp" "src/core/CMakeFiles/sttsv_core.dir/geometry.cpp.o" "gcc" "src/core/CMakeFiles/sttsv_core.dir/geometry.cpp.o.d"
+  "/root/repo/src/core/mttkrp.cpp" "src/core/CMakeFiles/sttsv_core.dir/mttkrp.cpp.o" "gcc" "src/core/CMakeFiles/sttsv_core.dir/mttkrp.cpp.o.d"
+  "/root/repo/src/core/parallel_sttsv.cpp" "src/core/CMakeFiles/sttsv_core.dir/parallel_sttsv.cpp.o" "gcc" "src/core/CMakeFiles/sttsv_core.dir/parallel_sttsv.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/sttsv_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/sttsv_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/sttsv_seq.cpp" "src/core/CMakeFiles/sttsv_core.dir/sttsv_seq.cpp.o" "gcc" "src/core/CMakeFiles/sttsv_core.dir/sttsv_seq.cpp.o.d"
+  "/root/repo/src/core/sttv_d.cpp" "src/core/CMakeFiles/sttsv_core.dir/sttv_d.cpp.o" "gcc" "src/core/CMakeFiles/sttsv_core.dir/sttv_d.cpp.o.d"
+  "/root/repo/src/core/two_step.cpp" "src/core/CMakeFiles/sttsv_core.dir/two_step.cpp.o" "gcc" "src/core/CMakeFiles/sttsv_core.dir/two_step.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/sttsv_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sttsv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/sttsv_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/sttsv_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sttsv_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/projective/CMakeFiles/sttsv_projective.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/sttsv_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sttsv_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsv_core.dir/baselines.cpp.o"
+  "CMakeFiles/sttsv_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/sttsv_core.dir/block_kernels.cpp.o"
+  "CMakeFiles/sttsv_core.dir/block_kernels.cpp.o.d"
+  "CMakeFiles/sttsv_core.dir/comm_only.cpp.o"
+  "CMakeFiles/sttsv_core.dir/comm_only.cpp.o.d"
+  "CMakeFiles/sttsv_core.dir/costs.cpp.o"
+  "CMakeFiles/sttsv_core.dir/costs.cpp.o.d"
+  "CMakeFiles/sttsv_core.dir/distributed_vector.cpp.o"
+  "CMakeFiles/sttsv_core.dir/distributed_vector.cpp.o.d"
+  "CMakeFiles/sttsv_core.dir/geometry.cpp.o"
+  "CMakeFiles/sttsv_core.dir/geometry.cpp.o.d"
+  "CMakeFiles/sttsv_core.dir/mttkrp.cpp.o"
+  "CMakeFiles/sttsv_core.dir/mttkrp.cpp.o.d"
+  "CMakeFiles/sttsv_core.dir/parallel_sttsv.cpp.o"
+  "CMakeFiles/sttsv_core.dir/parallel_sttsv.cpp.o.d"
+  "CMakeFiles/sttsv_core.dir/planner.cpp.o"
+  "CMakeFiles/sttsv_core.dir/planner.cpp.o.d"
+  "CMakeFiles/sttsv_core.dir/sttsv_seq.cpp.o"
+  "CMakeFiles/sttsv_core.dir/sttsv_seq.cpp.o.d"
+  "CMakeFiles/sttsv_core.dir/sttv_d.cpp.o"
+  "CMakeFiles/sttsv_core.dir/sttv_d.cpp.o.d"
+  "CMakeFiles/sttsv_core.dir/two_step.cpp.o"
+  "CMakeFiles/sttsv_core.dir/two_step.cpp.o.d"
+  "libsttsv_core.a"
+  "libsttsv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

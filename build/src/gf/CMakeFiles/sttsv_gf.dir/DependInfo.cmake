@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gf/field_table.cpp" "src/gf/CMakeFiles/sttsv_gf.dir/field_table.cpp.o" "gcc" "src/gf/CMakeFiles/sttsv_gf.dir/field_table.cpp.o.d"
+  "/root/repo/src/gf/prime_field.cpp" "src/gf/CMakeFiles/sttsv_gf.dir/prime_field.cpp.o" "gcc" "src/gf/CMakeFiles/sttsv_gf.dir/prime_field.cpp.o.d"
+  "/root/repo/src/gf/primes.cpp" "src/gf/CMakeFiles/sttsv_gf.dir/primes.cpp.o" "gcc" "src/gf/CMakeFiles/sttsv_gf.dir/primes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sttsv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsv_gf.dir/field_table.cpp.o"
+  "CMakeFiles/sttsv_gf.dir/field_table.cpp.o.d"
+  "CMakeFiles/sttsv_gf.dir/prime_field.cpp.o"
+  "CMakeFiles/sttsv_gf.dir/prime_field.cpp.o.d"
+  "CMakeFiles/sttsv_gf.dir/primes.cpp.o"
+  "CMakeFiles/sttsv_gf.dir/primes.cpp.o.d"
+  "libsttsv_gf.a"
+  "libsttsv_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsv_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

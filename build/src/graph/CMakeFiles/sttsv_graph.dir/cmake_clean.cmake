@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsv_graph.dir/bipartite.cpp.o"
+  "CMakeFiles/sttsv_graph.dir/bipartite.cpp.o.d"
+  "CMakeFiles/sttsv_graph.dir/matching.cpp.o"
+  "CMakeFiles/sttsv_graph.dir/matching.cpp.o.d"
+  "CMakeFiles/sttsv_graph.dir/max_flow.cpp.o"
+  "CMakeFiles/sttsv_graph.dir/max_flow.cpp.o.d"
+  "libsttsv_graph.a"
+  "libsttsv_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsv_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsttsv_graph.a"
+)

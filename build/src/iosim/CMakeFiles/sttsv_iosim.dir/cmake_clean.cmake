@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsv_iosim.dir/fast_memory.cpp.o"
+  "CMakeFiles/sttsv_iosim.dir/fast_memory.cpp.o.d"
+  "CMakeFiles/sttsv_iosim.dir/sequential_io.cpp.o"
+  "CMakeFiles/sttsv_iosim.dir/sequential_io.cpp.o.d"
+  "libsttsv_iosim.a"
+  "libsttsv_iosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsv_iosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/pair_system.cpp" "src/matrix/CMakeFiles/sttsv_matrix.dir/pair_system.cpp.o" "gcc" "src/matrix/CMakeFiles/sttsv_matrix.dir/pair_system.cpp.o.d"
+  "/root/repo/src/matrix/parallel_symv.cpp" "src/matrix/CMakeFiles/sttsv_matrix.dir/parallel_symv.cpp.o" "gcc" "src/matrix/CMakeFiles/sttsv_matrix.dir/parallel_symv.cpp.o.d"
+  "/root/repo/src/matrix/sym_matrix.cpp" "src/matrix/CMakeFiles/sttsv_matrix.dir/sym_matrix.cpp.o" "gcc" "src/matrix/CMakeFiles/sttsv_matrix.dir/sym_matrix.cpp.o.d"
+  "/root/repo/src/matrix/triangle_partition.cpp" "src/matrix/CMakeFiles/sttsv_matrix.dir/triangle_partition.cpp.o" "gcc" "src/matrix/CMakeFiles/sttsv_matrix.dir/triangle_partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/sttsv_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sttsv_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/sttsv_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sttsv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

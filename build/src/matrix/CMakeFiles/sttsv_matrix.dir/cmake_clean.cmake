@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsv_matrix.dir/pair_system.cpp.o"
+  "CMakeFiles/sttsv_matrix.dir/pair_system.cpp.o.d"
+  "CMakeFiles/sttsv_matrix.dir/parallel_symv.cpp.o"
+  "CMakeFiles/sttsv_matrix.dir/parallel_symv.cpp.o.d"
+  "CMakeFiles/sttsv_matrix.dir/sym_matrix.cpp.o"
+  "CMakeFiles/sttsv_matrix.dir/sym_matrix.cpp.o.d"
+  "CMakeFiles/sttsv_matrix.dir/triangle_partition.cpp.o"
+  "CMakeFiles/sttsv_matrix.dir/triangle_partition.cpp.o.d"
+  "libsttsv_matrix.a"
+  "libsttsv_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsv_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsv_partition.dir/blocks.cpp.o"
+  "CMakeFiles/sttsv_partition.dir/blocks.cpp.o.d"
+  "CMakeFiles/sttsv_partition.dir/tetra_partition.cpp.o"
+  "CMakeFiles/sttsv_partition.dir/tetra_partition.cpp.o.d"
+  "CMakeFiles/sttsv_partition.dir/vector_distribution.cpp.o"
+  "CMakeFiles/sttsv_partition.dir/vector_distribution.cpp.o.d"
+  "libsttsv_partition.a"
+  "libsttsv_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsv_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

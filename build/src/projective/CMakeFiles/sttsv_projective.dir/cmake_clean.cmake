@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsv_projective.dir/projective_line.cpp.o"
+  "CMakeFiles/sttsv_projective.dir/projective_line.cpp.o.d"
+  "libsttsv_projective.a"
+  "libsttsv_projective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsv_projective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsv_schedule.dir/comm_schedule.cpp.o"
+  "CMakeFiles/sttsv_schedule.dir/comm_schedule.cpp.o.d"
+  "libsttsv_schedule.a"
+  "libsttsv_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsv_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/collective.cpp" "src/simt/CMakeFiles/sttsv_simt.dir/collective.cpp.o" "gcc" "src/simt/CMakeFiles/sttsv_simt.dir/collective.cpp.o.d"
+  "/root/repo/src/simt/ledger.cpp" "src/simt/CMakeFiles/sttsv_simt.dir/ledger.cpp.o" "gcc" "src/simt/CMakeFiles/sttsv_simt.dir/ledger.cpp.o.d"
+  "/root/repo/src/simt/machine.cpp" "src/simt/CMakeFiles/sttsv_simt.dir/machine.cpp.o" "gcc" "src/simt/CMakeFiles/sttsv_simt.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sttsv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsv_simt.dir/collective.cpp.o"
+  "CMakeFiles/sttsv_simt.dir/collective.cpp.o.d"
+  "CMakeFiles/sttsv_simt.dir/ledger.cpp.o"
+  "CMakeFiles/sttsv_simt.dir/ledger.cpp.o.d"
+  "CMakeFiles/sttsv_simt.dir/machine.cpp.o"
+  "CMakeFiles/sttsv_simt.dir/machine.cpp.o.d"
+  "libsttsv_simt.a"
+  "libsttsv_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsv_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsv_steiner.dir/constructions.cpp.o"
+  "CMakeFiles/sttsv_steiner.dir/constructions.cpp.o.d"
+  "CMakeFiles/sttsv_steiner.dir/isomorphism.cpp.o"
+  "CMakeFiles/sttsv_steiner.dir/isomorphism.cpp.o.d"
+  "CMakeFiles/sttsv_steiner.dir/steiner.cpp.o"
+  "CMakeFiles/sttsv_steiner.dir/steiner.cpp.o.d"
+  "libsttsv_steiner.a"
+  "libsttsv_steiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsv_steiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

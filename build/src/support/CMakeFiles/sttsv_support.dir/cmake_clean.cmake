@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsv_support.dir/check.cpp.o"
+  "CMakeFiles/sttsv_support.dir/check.cpp.o.d"
+  "CMakeFiles/sttsv_support.dir/cli.cpp.o"
+  "CMakeFiles/sttsv_support.dir/cli.cpp.o.d"
+  "CMakeFiles/sttsv_support.dir/rng.cpp.o"
+  "CMakeFiles/sttsv_support.dir/rng.cpp.o.d"
+  "CMakeFiles/sttsv_support.dir/table.cpp.o"
+  "CMakeFiles/sttsv_support.dir/table.cpp.o.d"
+  "CMakeFiles/sttsv_support.dir/text.cpp.o"
+  "CMakeFiles/sttsv_support.dir/text.cpp.o.d"
+  "libsttsv_support.a"
+  "libsttsv_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsv_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

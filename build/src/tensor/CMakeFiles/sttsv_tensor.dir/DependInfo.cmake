@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/dense3.cpp" "src/tensor/CMakeFiles/sttsv_tensor.dir/dense3.cpp.o" "gcc" "src/tensor/CMakeFiles/sttsv_tensor.dir/dense3.cpp.o.d"
+  "/root/repo/src/tensor/generators.cpp" "src/tensor/CMakeFiles/sttsv_tensor.dir/generators.cpp.o" "gcc" "src/tensor/CMakeFiles/sttsv_tensor.dir/generators.cpp.o.d"
+  "/root/repo/src/tensor/io.cpp" "src/tensor/CMakeFiles/sttsv_tensor.dir/io.cpp.o" "gcc" "src/tensor/CMakeFiles/sttsv_tensor.dir/io.cpp.o.d"
+  "/root/repo/src/tensor/sym_tensor.cpp" "src/tensor/CMakeFiles/sttsv_tensor.dir/sym_tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/sttsv_tensor.dir/sym_tensor.cpp.o.d"
+  "/root/repo/src/tensor/sym_tensor_d.cpp" "src/tensor/CMakeFiles/sttsv_tensor.dir/sym_tensor_d.cpp.o" "gcc" "src/tensor/CMakeFiles/sttsv_tensor.dir/sym_tensor_d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sttsv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsv_tensor.dir/dense3.cpp.o"
+  "CMakeFiles/sttsv_tensor.dir/dense3.cpp.o.d"
+  "CMakeFiles/sttsv_tensor.dir/generators.cpp.o"
+  "CMakeFiles/sttsv_tensor.dir/generators.cpp.o.d"
+  "CMakeFiles/sttsv_tensor.dir/io.cpp.o"
+  "CMakeFiles/sttsv_tensor.dir/io.cpp.o.d"
+  "CMakeFiles/sttsv_tensor.dir/sym_tensor.cpp.o"
+  "CMakeFiles/sttsv_tensor.dir/sym_tensor.cpp.o.d"
+  "CMakeFiles/sttsv_tensor.dir/sym_tensor_d.cpp.o"
+  "CMakeFiles/sttsv_tensor.dir/sym_tensor_d.cpp.o.d"
+  "libsttsv_tensor.a"
+  "libsttsv_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsv_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

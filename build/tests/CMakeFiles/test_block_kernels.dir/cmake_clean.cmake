@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_kernels.dir/test_block_kernels.cpp.o"
+  "CMakeFiles/test_block_kernels.dir/test_block_kernels.cpp.o.d"
+  "test_block_kernels"
+  "test_block_kernels.pdb"
+  "test_block_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

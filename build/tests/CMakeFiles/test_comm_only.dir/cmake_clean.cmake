@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_only.dir/test_comm_only.cpp.o"
+  "CMakeFiles/test_comm_only.dir/test_comm_only.cpp.o.d"
+  "test_comm_only"
+  "test_comm_only.pdb"
+  "test_comm_only[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eigensearch.dir/test_eigensearch.cpp.o"
+  "CMakeFiles/test_eigensearch.dir/test_eigensearch.cpp.o.d"
+  "test_eigensearch"
+  "test_eigensearch.pdb"
+  "test_eigensearch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eigensearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

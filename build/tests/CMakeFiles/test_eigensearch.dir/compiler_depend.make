@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_eigensearch.
+# This may be replaced when dependencies are built.

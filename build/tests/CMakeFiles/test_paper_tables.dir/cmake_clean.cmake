@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_tables.dir/test_paper_tables.cpp.o"
+  "CMakeFiles/test_paper_tables.dir/test_paper_tables.cpp.o.d"
+  "test_paper_tables"
+  "test_paper_tables.pdb"
+  "test_paper_tables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_sttsv.dir/test_parallel_sttsv.cpp.o"
+  "CMakeFiles/test_parallel_sttsv.dir/test_parallel_sttsv.cpp.o.d"
+  "test_parallel_sttsv"
+  "test_parallel_sttsv.pdb"
+  "test_parallel_sttsv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_sttsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_projective.dir/test_projective.cpp.o"
+  "CMakeFiles/test_projective.dir/test_projective.cpp.o.d"
+  "test_projective"
+  "test_projective.pdb"
+  "test_projective[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_projective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spherical_alpha3.dir/test_spherical_alpha3.cpp.o"
+  "CMakeFiles/test_spherical_alpha3.dir/test_spherical_alpha3.cpp.o.d"
+  "test_spherical_alpha3"
+  "test_spherical_alpha3.pdb"
+  "test_spherical_alpha3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spherical_alpha3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

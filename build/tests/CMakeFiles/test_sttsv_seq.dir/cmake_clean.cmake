@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sttsv_seq.dir/test_sttsv_seq.cpp.o"
+  "CMakeFiles/test_sttsv_seq.dir/test_sttsv_seq.cpp.o.d"
+  "test_sttsv_seq"
+  "test_sttsv_seq.pdb"
+  "test_sttsv_seq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sttsv_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

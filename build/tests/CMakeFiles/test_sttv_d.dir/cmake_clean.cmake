@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sttv_d.dir/test_sttv_d.cpp.o"
+  "CMakeFiles/test_sttv_d.dir/test_sttv_d.cpp.o.d"
+  "test_sttv_d"
+  "test_sttv_d.pdb"
+  "test_sttv_d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sttv_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trivial_system.dir/test_trivial_system.cpp.o"
+  "CMakeFiles/test_trivial_system.dir/test_trivial_system.cpp.o.d"
+  "test_trivial_system"
+  "test_trivial_system.pdb"
+  "test_trivial_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trivial_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

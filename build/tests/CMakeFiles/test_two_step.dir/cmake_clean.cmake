@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_two_step.dir/test_two_step.cpp.o"
+  "CMakeFiles/test_two_step.dir/test_two_step.cpp.o.d"
+  "test_two_step"
+  "test_two_step.pdb"
+  "test_two_step[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_two_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vector_distribution.dir/test_vector_distribution.cpp.o"
+  "CMakeFiles/test_vector_distribution.dir/test_vector_distribution.cpp.o.d"
+  "test_vector_distribution"
+  "test_vector_distribution.pdb"
+  "test_vector_distribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vector_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

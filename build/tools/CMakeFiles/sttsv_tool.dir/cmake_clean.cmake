@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsv_tool.dir/sttsv_tool.cpp.o"
+  "CMakeFiles/sttsv_tool.dir/sttsv_tool.cpp.o.d"
+  "sttsv"
+  "sttsv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsv_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
