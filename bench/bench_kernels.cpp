@@ -2,18 +2,35 @@
 // constant-factor motivation of the paper's Section 1: exploiting
 // symmetry halves the ternary multiplications (Algorithm 4 vs 3), and
 // blocked kernels process the same work tile-by-tile.
+//
+// After the google-benchmark suite, main() runs a fixed sweep of the
+// class-specialized block kernels against the seed element-wise kernel
+// (apply_block_generic) and of the threaded superstep executor against
+// the sequential rank schedule, and writes the results to
+// BENCH_kernels.json in the working directory — the machine-readable
+// perf baseline this and future PRs are measured against.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "core/block_kernels.hpp"
+#include "core/parallel_sttsv.hpp"
 #include "core/sttsv_seq.hpp"
 #include "core/sttv_d.hpp"
 #include "core/two_step.hpp"
 #include "matrix/sym_matrix.hpp"
 #include "partition/blocks.hpp"
+#include "partition/tetra_partition.hpp"
+#include "partition/vector_distribution.hpp"
+#include "simt/machine.hpp"
+#include "simt/parallel_for.hpp"
+#include "steiner/constructions.hpp"
 #include "support/rng.hpp"
+#include "support/timer.hpp"
 #include "tensor/dense3.hpp"
 #include "tensor/generators.hpp"
 #include "tensor/sym_tensor_d.hpp"
@@ -95,7 +112,12 @@ void BM_BlockedKernels(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockedKernels)->Arg(32)->Arg(64)->Arg(96)->Arg(128);
 
-void BM_SingleOffDiagonalBlock(benchmark::State& state) {
+using KernelFn = std::uint64_t (*)(const tensor::SymTensor3&,
+                                   const partition::BlockCoord&, std::size_t,
+                                   const core::BlockBuffers&);
+
+/// One strictly off-diagonal (interior) block, specialized vs seed kernel.
+void single_interior_block(benchmark::State& state, KernelFn kernel) {
   const auto b = static_cast<std::size_t>(state.range(0));
   const std::size_t n = 3 * b;
   Rng rng(5);
@@ -111,12 +133,19 @@ void BM_SingleOffDiagonalBlock(benchmark::State& state) {
   buf.y[1] = y.data() + b;
   buf.y[2] = y.data();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::apply_block(a, c, b, buf));
+    benchmark::DoNotOptimize(kernel(a, c, b, buf));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(3 * b * b * b));
 }
-BENCHMARK(BM_SingleOffDiagonalBlock)->Arg(8)->Arg(16)->Arg(32);
+void BM_SingleInteriorBlock(benchmark::State& state) {
+  single_interior_block(state, core::apply_block);
+}
+void BM_SingleInteriorBlockSeed(benchmark::State& state) {
+  single_interior_block(state, core::apply_block_generic);
+}
+BENCHMARK(BM_SingleInteriorBlock)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_SingleInteriorBlockSeed)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_TwoStep(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -165,6 +194,220 @@ void BM_SttvOrderD(benchmark::State& state) {
 }
 BENCHMARK(BM_SttvOrderD)->Arg(2)->Arg(3)->Arg(4);
 
+// ---------------------------------------------------------------------------
+// BENCH_kernels.json: machine-readable perf baseline.
+// ---------------------------------------------------------------------------
+
+const char* class_name(const partition::BlockCoord& c) {
+  if (c.i > c.j && c.j > c.k) return "interior";
+  if (c.i == c.j && c.j > c.k) return "face_ij";
+  if (c.i > c.j && c.j == c.k) return "face_jk";
+  return "central";
+}
+
+struct ClassTiming {
+  std::string cls;
+  std::size_t blocks = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t mults = 0;
+  double seed_s = 0.0;
+  double spec_s = 0.0;
+};
+
+/// Applies `kernel` once to every block of `blocks` (the usual padded
+/// tiling buffers) and returns elapsed seconds.
+double time_class_once(KernelFn kernel, const tensor::SymTensor3& a,
+                       const std::vector<partition::BlockCoord>& blocks,
+                       std::size_t b, std::vector<double>& x_pad,
+                       std::vector<double>& y_pad) {
+  Timer t;
+  std::uint64_t sink = 0;
+  for (const auto& c : blocks) {
+    core::BlockBuffers buf;
+    buf.x[0] = x_pad.data() + c.i * b;
+    buf.x[1] = x_pad.data() + c.j * b;
+    buf.x[2] = x_pad.data() + c.k * b;
+    buf.y[0] = y_pad.data() + c.i * b;
+    buf.y[1] = y_pad.data() + c.j * b;
+    buf.y[2] = y_pad.data() + c.k * b;
+    sink += kernel(a, c, b, buf);
+  }
+  benchmark::DoNotOptimize(sink);
+  return t.seconds();
+}
+
+/// Repeats a timed thunk until it has run >= min_total seconds (at least
+/// `min_reps` times) and returns seconds per repetition.
+template <typename F>
+double time_per_rep(F&& thunk, double min_total = 0.08, int min_reps = 3) {
+  (void)thunk();  // warm-up
+  double total = 0.0;
+  int reps = 0;
+  while (reps < min_reps || total < min_total) {
+    total += thunk();
+    ++reps;
+  }
+  return total / reps;
+}
+
+/// Seed-vs-specialized timings for every block class of an m=4 tiling of
+/// dimension n.
+std::vector<ClassTiming> sweep_block_classes(std::size_t n) {
+  const std::size_t m = 4;
+  const std::size_t b = (n + m - 1) / m;
+  Rng rng(19 + n);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+  std::vector<double> x_pad(m * b, 0.0);
+  std::copy(x.begin(), x.end(), x_pad.begin());
+  std::vector<double> y_pad(m * b, 0.0);
+
+  // Group the tiling's blocks by class.
+  std::vector<ClassTiming> out;
+  for (const char* cls : {"interior", "face_ij", "face_jk", "central"}) {
+    std::vector<partition::BlockCoord> blocks;
+    for (const auto& c : partition::all_lower_blocks(m)) {
+      if (std::string(class_name(c)) == cls) blocks.push_back(c);
+    }
+    ClassTiming t;
+    t.cls = cls;
+    t.blocks = blocks.size();
+    for (const auto& c : blocks) {
+      core::BlockBuffers buf;
+      buf.x[0] = x_pad.data() + c.i * b;
+      buf.x[1] = x_pad.data() + c.j * b;
+      buf.x[2] = x_pad.data() + c.k * b;
+      buf.y[0] = y_pad.data() + c.i * b;
+      buf.y[1] = y_pad.data() + c.j * b;
+      buf.y[2] = y_pad.data() + c.k * b;
+      t.mults += core::apply_block(a, c, b, buf);
+      t.entries += partition::entries_in_block(partition::classify(c), b);
+    }
+    std::fill(y_pad.begin(), y_pad.end(), 0.0);
+    t.seed_s = time_per_rep([&] {
+      return time_class_once(core::apply_block_generic, a, blocks, b, x_pad,
+                             y_pad);
+    });
+    std::fill(y_pad.begin(), y_pad.end(), 0.0);
+    t.spec_s = time_per_rep([&] {
+      return time_class_once(core::apply_block, a, blocks, b, x_pad, y_pad);
+    });
+    out.push_back(t);
+  }
+  return out;
+}
+
+/// End-to-end Algorithm 5 wall clock with the sequential rank schedule vs
+/// the threaded superstep executor; also records the per-run ledger words
+/// so the JSON itself witnesses that host threading leaves the modeled
+/// communication untouched.
+struct ExecutorTiming {
+  std::size_t n = 0;
+  std::size_t P = 0;
+  double serial_s = 0.0;
+  double threaded_s = 0.0;
+  std::size_t threads = 0;
+  std::uint64_t serial_words = 0;
+  std::uint64_t threaded_words = 0;
+};
+
+ExecutorTiming sweep_executor(std::size_t q, std::size_t n) {
+  auto part = partition::TetraPartition::build(steiner::spherical_system(q));
+  partition::VectorDistribution dist(part, n);
+  Rng rng(23);
+  const auto a = tensor::random_symmetric(n, rng);
+  const auto x = rng.uniform_vector(n);
+
+  ExecutorTiming t;
+  t.n = n;
+  t.P = part.num_processors();
+  t.threads = simt::host_concurrency();
+  // Words per run, measured on a fresh machine each (resetting between
+  // timing reps would pollute the timing, so words are probed separately).
+  const auto words_of_one_run = [&] {
+    simt::Machine probe(t.P);
+    auto r = core::parallel_sttsv(probe, part, dist, a, x,
+                                  simt::Transport::kPointToPoint);
+    benchmark::DoNotOptimize(r.y.data());
+    return probe.ledger().total_words();
+  };
+  {
+    simt::ConcurrencyGuard serial(1);
+    t.serial_words = words_of_one_run();
+    simt::Machine machine(t.P);
+    t.serial_s = time_per_rep([&] {
+      Timer timer;
+      auto r = core::parallel_sttsv(machine, part, dist, a, x,
+                                    simt::Transport::kPointToPoint);
+      benchmark::DoNotOptimize(r.y.data());
+      return timer.seconds();
+    });
+  }
+  {
+    t.threaded_words = words_of_one_run();
+    simt::Machine machine(t.P);
+    t.threaded_s = time_per_rep([&] {
+      Timer timer;
+      auto r = core::parallel_sttsv(machine, part, dist, a, x,
+                                    simt::Transport::kPointToPoint);
+      benchmark::DoNotOptimize(r.y.data());
+      return timer.seconds();
+    });
+  }
+  return t;
+}
+
+void write_json(const char* path) {
+  std::ofstream out(path);
+  out.precision(6);
+  out << "{\n  \"bench\": \"bench_kernels\",\n";
+  out << "  \"flops_per_ternary_mult\": 2,\n";
+  out << "  \"block_classes\": [\n";
+  bool first = true;
+  for (const std::size_t n : {96u, 192u, 256u, 384u}) {
+    for (const ClassTiming& t : sweep_block_classes(n)) {
+      if (!first) out << ",\n";
+      first = false;
+      const double mults = static_cast<double>(t.mults);
+      const double entries = static_cast<double>(t.entries);
+      out << "    {\"n\": " << n << ", \"b\": " << (n + 3) / 4
+          << ", \"class\": \"" << t.cls << "\", \"blocks\": " << t.blocks
+          << ", \"entries\": " << t.entries
+          << ", \"ternary_mults\": " << t.mults
+          << ",\n     \"seed_seconds\": " << t.seed_s
+          << ", \"specialized_seconds\": " << t.spec_s
+          << ",\n     \"seed_entries_per_s\": " << entries / t.seed_s
+          << ", \"specialized_entries_per_s\": " << entries / t.spec_s
+          << ",\n     \"seed_gflops\": " << 2.0 * mults / t.seed_s / 1e9
+          << ", \"specialized_gflops\": " << 2.0 * mults / t.spec_s / 1e9
+          << ", \"speedup\": " << t.seed_s / t.spec_s << "}";
+    }
+  }
+  out << "\n  ],\n  \"threaded_executor\": [\n";
+  first = true;
+  for (const auto& [q, n] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {2, 120}, {2, 240}}) {
+    const ExecutorTiming t = sweep_executor(q, n);
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"n\": " << t.n << ", \"P\": " << t.P
+        << ", \"host_threads\": " << t.threads
+        << ", \"serial_seconds\": " << t.serial_s
+        << ", \"threaded_seconds\": " << t.threaded_s
+        << ", \"speedup\": " << t.serial_s / t.threaded_s
+        << ",\n     \"serial_total_ledger_words\": " << t.serial_words
+        << ", \"threaded_total_ledger_words\": " << t.threaded_words << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_json("BENCH_kernels.json");
+  return 0;
+}

@@ -60,7 +60,9 @@ ParallelRunResult baseline_1d_atomic(simt::Machine& machine,
   result.ternary_mults.assign(P, 0);
   std::vector<std::vector<double>> y_loc(P, std::vector<double>(n, 0.0));
   const double* data = a.data();
-  for (std::size_t p = 0; p < P; ++p) {
+  // Per-rank compute is independent (reads the shared x, writes y_loc[p]):
+  // run on host threads without touching the ledger.
+  machine.run_ranks([&](std::size_t p) {
     auto& y = y_loc[p];
     std::uint64_t count = 0;
     for (std::size_t idx = er.begin(p); idx < er.end(p); ++idx) {
@@ -86,7 +88,7 @@ ParallelRunResult baseline_1d_atomic(simt::Machine& machine,
       }
     }
     result.ternary_mults[p] = count;
-  }
+  });
 
   // Phase 3: reduce-scatter partial y onto the x ranges.
   std::vector<std::vector<Envelope>> y_out(P);
@@ -177,11 +179,12 @@ ParallelRunResult baseline_cubic(simt::Machine& machine,
   }
   (void)machine.exchange(std::move(outboxes), simt::Transport::kPointToPoint);
 
-  // Phase 2: dense cube kernels (no symmetry exploited).
+  // Phase 2: dense cube kernels (no symmetry exploited). Each rank writes
+  // only y_loc[p], so the cube sweep runs on host threads.
   ParallelRunResult result;
   result.ternary_mults.assign(P, 0);
   std::vector<std::vector<double>> y_loc(P, std::vector<double>(b, 0.0));
-  for (std::size_t p = 0; p < P; ++p) {
+  machine.run_ranks([&](std::size_t p) {
     const auto [u, v, w] = coords_of(p);
     std::uint64_t count = 0;
     const std::size_t i_end = std::min((u + 1) * b, n);
@@ -198,7 +201,7 @@ ParallelRunResult baseline_cubic(simt::Machine& machine,
       y_loc[p][gi - u * b] += acc;
     }
     result.ternary_mults[p] = count;
-  }
+  });
 
   // Phase 3: reduce y row block u across the c² ranks of plane u; y block
   // u is owned in shares by that plane's ranks (balanced like x shares).

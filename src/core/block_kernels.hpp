@@ -3,7 +3,22 @@
 // of the symmetric tensor updates (up to) three local y row blocks using
 // (up to) three local x row blocks, with the Algorithm-4 multiplicity
 // rules applied at the *element* level, so diagonal blocks are handled by
-// the same kernel.
+// the same entry point.
+//
+// apply_block classifies the block once by its coordinate pattern and
+// dispatches to a kernel specialized for that class (DESIGN.md §8):
+//
+//   interior   i > j > k    every element is strict — branch-free 3-update
+//                           loop nest, k-innermost, register accumulation;
+//   face i==j  i == j > k   strict rows plus a gi == gj diagonal row
+//                           (2-update) hoisted out of the inner loop;
+//   face j==k  i > j == k   strict runs plus a gk == gj tail element
+//                           (2-update) hoisted out of the inner loop;
+//   central    i == j == k  triangular bounds, all equality cases live here.
+//
+// All kernels produce the same ternary-multiplication count as the
+// element-wise reference (Section 7.1 counting); floating-point sums may
+// differ from the reference by rounding only (reassociated accumulation).
 
 #include <cstddef>
 #include <cstdint>
@@ -25,8 +40,17 @@ struct BlockBuffers {
 /// (edge length b) of tensor `a` into the y buffers. Entries with any
 /// global index >= a.dim() are padding and contribute nothing. Returns
 /// the number of ternary multiplications performed (Section 7.1 counting).
+/// Dispatches to the class-specialized kernels above.
 std::uint64_t apply_block(const tensor::SymTensor3& a,
                           const partition::BlockCoord& c, std::size_t b,
                           const BlockBuffers& buf);
+
+/// The seed element-wise kernel: one loop nest with per-element
+/// multiplicity branches, valid for every block class. Kept as the
+/// golden reference for tests and as the baseline the kernel benches
+/// (BENCH_kernels.json) measure the specialized kernels against.
+std::uint64_t apply_block_generic(const tensor::SymTensor3& a,
+                                  const partition::BlockCoord& c,
+                                  std::size_t b, const BlockBuffers& buf);
 
 }  // namespace sttsv::core

@@ -226,10 +226,11 @@ DistributedVector parallel_sttsv_dist(
   }
   inboxes.clear();
 
-  // Phase 2: block kernels.
+  // Phase 2: block kernels. Rank programs are independent between the two
+  // exchanges, so they run on host threads (ledger untouched).
   std::vector<std::map<std::size_t, std::vector<double>>> y_loc(P);
   if (ternary_out != nullptr) ternary_out->assign(P, 0);
-  for (std::size_t p = 0; p < P; ++p) {
+  machine.run_ranks([&](std::size_t p) {
     for (const std::size_t i : part.R(p)) y_loc[p][i].assign(b, 0.0);
     for (const partition::BlockCoord& c : part.owned_blocks(p)) {
       BlockBuffers buf;
@@ -243,7 +244,7 @@ DistributedVector parallel_sttsv_dist(
       if (ternary_out != nullptr) (*ternary_out)[p] += mults;
     }
     x_loc[p].clear();
-  }
+  });
 
   // Phase 3: exchange receiver shares of the partial y and reduce into a
   // fresh distributed vector.

@@ -127,9 +127,10 @@ std::vector<std::vector<double>> parallel_symmetric_mttkrp(
   }
   inboxes.clear();
 
-  // Phase 2: block kernels per column.
+  // Phase 2: block kernels per column. Per-rank compute is independent,
+  // so it runs on host threads (ledger untouched).
   std::vector<std::map<std::size_t, std::vector<double>>> y_loc(P);
-  for (std::size_t p = 0; p < P; ++p) {
+  machine.run_ranks([&](std::size_t p) {
     for (const std::size_t i : part.R(p)) {
       y_loc[p][i].assign(r * b, 0.0);
     }
@@ -146,7 +147,7 @@ std::vector<std::vector<double>> parallel_symmetric_mttkrp(
       }
     }
     x_loc[p].clear();
-  }
+  });
 
   // Phase 3: batched partial-y exchange and reduction.
   std::vector<std::vector<Envelope>> y_out(P);

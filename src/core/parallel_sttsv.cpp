@@ -107,10 +107,13 @@ ParallelRunResult parallel_sttsv(simt::Machine& machine,
   inboxes.clear();
 
   // ---- Phase 2: local block kernels (Algorithm 5 lines 23-36). --------
+  // Rank programs between the two exchanges are independent (rank p reads
+  // x_loc[p], writes y_loc[p]), so they run on host threads; the ledger
+  // and the produced y are identical to the sequential rank order.
   std::vector<std::map<std::size_t, std::vector<double>>> y_loc(P);
   ParallelRunResult result;
   result.ternary_mults.assign(P, 0);
-  for (std::size_t p = 0; p < P; ++p) {
+  machine.run_ranks([&](std::size_t p) {
     for (const std::size_t i : part.R(p)) {
       y_loc[p][i].assign(b, 0.0);
     }
@@ -125,7 +128,7 @@ ParallelRunResult parallel_sttsv(simt::Machine& machine,
       result.ternary_mults[p] += apply_block(a, c, b, buf);
     }
     x_loc[p].clear();  // frees the gathered inputs early
-  }
+  });
 
   // ---- Phase 3: exchange + reduce partial y (lines 38-50). ------------
   std::vector<std::vector<Envelope>> y_out(P);

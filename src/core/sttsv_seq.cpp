@@ -2,7 +2,57 @@
 
 #include "support/check.hpp"
 
+#ifdef STTSV_WITH_OPENMP
+#include <omp.h>
+#endif
+
 namespace sttsv::core {
+
+namespace {
+
+/// One row i of the packed walk with the multiplicity branches hoisted out
+/// of the inner loops (the same structure as the specialized block
+/// kernels): rows j < i split into a branch-free strict run k < j plus the
+/// k == j tail, and the j == i row handles the i == j > k run and the
+/// central element. `row0` points at the first entry of row (i, 0).
+/// Returns the ternary multiplications performed: i(3i+1)/2 + 1... counted
+/// exactly as Algorithm 4 does.
+inline std::uint64_t packed_row_update(const double* __restrict row0,
+                                       const double* __restrict x,
+                                       double* __restrict y, std::size_t i) {
+  const double xi = x[i];
+  const double* row = row0;
+  double yi_acc = 0.0;
+  std::uint64_t count = 0;
+  for (std::size_t j = 0; j < i; ++j) {
+    const double xj = x[j];
+    const double cij = 2.0 * xi * xj;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < j; ++k) {
+      const double v = row[k];
+      acc += v * x[k];
+      y[k] += cij * v;  // strict: y_k += 2 a x_i x_j
+    }
+    // k == j tail (i > j == k): y_i += a x_j², y_j += 2 a x_i x_j.
+    const double vt = row[j];
+    yi_acc += 2.0 * xj * acc + vt * xj * xj;
+    y[j] += 2.0 * xi * acc + 2.0 * vt * xi * xj;
+    row += j + 1;
+    count += 3 * j + 2;
+  }
+  // j == i row: k < i entries are class i == j > k; k == i is central.
+  const double cii = xi * xi;
+  double acc = 0.0;
+  for (std::size_t k = 0; k < i; ++k) {
+    const double v = row[k];
+    acc += v * x[k];
+    y[k] += cii * v;  // y_k += a x_i x_j = a x_i²
+  }
+  y[i] += yi_acc + 2.0 * xi * acc + row[i] * cii;
+  return count + 2 * i + 1;
+}
+
+}  // namespace
 
 std::vector<double> sttsv_naive(const tensor::Dense3& a,
                                 const std::vector<double>& x,
@@ -69,36 +119,13 @@ std::vector<double> sttsv_packed(const tensor::SymTensor3& a,
   std::vector<double> y(n, 0.0);
   std::uint64_t count = 0;
   const double* data = a.data();
-  // Linear walk of packed storage; (i, j, k) recovered incrementally in
-  // the same i >= j >= k order that tetra_index enumerates.
+  // Linear walk of packed storage, one row (i, *) at a time with the
+  // multiplicity branches hoisted out of the inner loops; row (i, 0)
+  // starts at offset i(i+1)(i+2)/6 and holds (i+1)(i+2)/2 entries.
   std::size_t idx = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    const double xi = x[i];
-    for (std::size_t j = 0; j <= i; ++j) {
-      const double xj = x[j];
-      const double xi_xj = xi * xj;
-      for (std::size_t k = 0; k <= j; ++k, ++idx) {
-        const double v = data[idx];
-        const double xk = x[k];
-        if (i != j && j != k) {
-          y[i] += 2.0 * v * xj * xk;
-          y[j] += 2.0 * v * xi * xk;
-          y[k] += 2.0 * v * xi_xj;
-          count += 3;
-        } else if (i == j && j != k) {
-          y[i] += 2.0 * v * xj * xk;
-          y[k] += v * xi_xj;
-          count += 2;
-        } else if (i != j && j == k) {
-          y[i] += v * xj * xk;
-          y[j] += 2.0 * v * xi * xk;
-          count += 2;
-        } else {
-          y[i] += v * xj * xk;
-          count += 1;
-        }
-      }
-    }
+    count += packed_row_update(data + idx, x.data(), y.data(), i);
+    idx += (i + 1) * (i + 2) / 2;
   }
   STTSV_CHECK(idx == a.packed_size(), "packed walk out of sync");
   if (ops != nullptr) ops->ternary_mults += count;
@@ -117,43 +144,33 @@ std::vector<double> sttsv_packed_parallel(const tensor::SymTensor3& a,
   std::vector<double> y(n, 0.0);
   std::uint64_t count = 0;
 
+  // Per-thread slabs for the partial outputs; merged below by a second
+  // parallel loop over output indices (a strided merge) instead of the
+  // former serialized full-vector `omp critical` pass.
+  const auto max_threads = static_cast<std::size_t>(omp_get_max_threads());
+  std::vector<double> slabs(max_threads * n, 0.0);
+
 #pragma omp parallel reduction(+ : count)
   {
-    std::vector<double> y_local(n, 0.0);
-    // Dynamic schedule: row i holds (i+1)(i+2)/2 entries, so work grows
-    // quadratically with i and static splitting would imbalance badly.
-#pragma omp for schedule(dynamic, 4) nowait
+    double* y_local = slabs.data() +
+                      static_cast<std::size_t>(omp_get_thread_num()) * n;
+    // Cyclic rows: row i holds (i+1)(i+2)/2 entries, so work grows
+    // quadratically with i; a (static, 1) cyclic schedule hands every
+    // thread the same mix of light and heavy rows.
+#pragma omp for schedule(static, 1)
     for (std::size_t i = 0; i < n; ++i) {
-      const double xi = x[i];
-      std::size_t idx = tensor::tetra_index(i, 0, 0);
-      for (std::size_t j = 0; j <= i; ++j) {
-        const double xj = x[j];
-        const double xi_xj = xi * xj;
-        for (std::size_t k = 0; k <= j; ++k, ++idx) {
-          const double v = data[idx];
-          const double xk = x[k];
-          if (i != j && j != k) {
-            y_local[i] += 2.0 * v * xj * xk;
-            y_local[j] += 2.0 * v * xi * xk;
-            y_local[k] += 2.0 * v * xi_xj;
-            count += 3;
-          } else if (i == j && j != k) {
-            y_local[i] += 2.0 * v * xj * xk;
-            y_local[k] += v * xi_xj;
-            count += 2;
-          } else if (i != j && j == k) {
-            y_local[i] += v * xj * xk;
-            y_local[j] += 2.0 * v * xi * xk;
-            count += 2;
-          } else {
-            y_local[i] += v * xj * xk;
-            count += 1;
-          }
-        }
-      }
+      count += packed_row_update(data + tensor::tetra_index(i, 0, 0),
+                                 x.data(), y_local, i);
     }
-#pragma omp critical
-    for (std::size_t i = 0; i < n; ++i) y[i] += y_local[i];
+    // The loop's implicit barrier guarantees every slab is complete; each
+    // thread then reduces a disjoint slice of the output across slabs.
+    const auto active = static_cast<std::size_t>(omp_get_num_threads());
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t t = 0; t < active; ++t) s += slabs[t * n + i];
+      y[i] = s;
+    }
   }
   if (ops != nullptr) ops->ternary_mults += count;
   return y;

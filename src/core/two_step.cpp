@@ -1,5 +1,6 @@
 #include "core/two_step.hpp"
 
+#include "simt/parallel_for.hpp"
 #include "support/check.hpp"
 #include "tensor/sym_tensor.hpp"
 
@@ -59,13 +60,15 @@ std::vector<double> sttsv_two_step(const tensor::SymTensor3& a,
   const std::size_t n = a.dim();
   const std::vector<double> m = ttv_mode2(a, x, ops);
   std::vector<double> y(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
+  // Rows of the matvec are independent — run on host threads; each row's
+  // accumulation order is unchanged, so y is identical to the serial loop.
+  simt::parallel_for(n, [&](std::size_t i) {
     double acc = 0.0;
     for (std::size_t k = 0; k < n; ++k) {
       acc += m[i * n + k] * x[k];
     }
     y[i] = acc;
-  }
+  });
   if (ops != nullptr) ops->step2_ops += static_cast<std::uint64_t>(n) * n;
   return y;
 }

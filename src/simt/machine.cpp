@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "simt/parallel_for.hpp"
 #include "support/check.hpp"
 
 namespace sttsv::simt {
@@ -66,6 +67,10 @@ std::vector<std::vector<Delivery>> Machine::exchange(
     }
   }
   return inboxes;
+}
+
+void Machine::run_ranks(const std::function<void(std::size_t)>& body) const {
+  parallel_for(P_, body);
 }
 
 void Machine::reset_ledger() { ledger_ = CommLedger(P_); }

@@ -10,6 +10,7 @@
 // program, and the ledger counts exactly the words the α-β-γ model counts.
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "simt/ledger.hpp"
@@ -53,6 +54,13 @@ class Machine {
   /// rounds/modeled cost depend on the transport.
   std::vector<std::vector<Delivery>> exchange(
       std::vector<std::vector<Envelope>> outboxes, Transport transport);
+
+  /// Runs body(p) once for every rank p — the local compute half of a
+  /// superstep. Rank programs are independent between exchanges (each
+  /// reads/writes only rank-p state), so they may execute on host threads
+  /// (simt::parallel_for); the ledger is untouched and results are bitwise
+  /// identical to the sequential rank-order schedule.
+  void run_ranks(const std::function<void(std::size_t)>& body) const;
 
   [[nodiscard]] const CommLedger& ledger() const { return ledger_; }
   CommLedger& ledger() { return ledger_; }

@@ -58,11 +58,14 @@ TEST_P(BlockKernelTiling, MatchesAlgorithm4) {
   const auto a = tensor::random_symmetric(n, rng);
   const auto x = rng.uniform_vector(n);
   const auto y_ref = sttsv_packed(a, x);
+  // Independent golden: the branchy element-wise Algorithm 4 walk.
+  const auto y_sym = sttsv_symmetric(a, x);
   std::uint64_t mults = 0;
   const auto y = blocked_sttsv(a, x, m, b, &mults);
   ASSERT_EQ(y.size(), n);
   for (std::size_t i = 0; i < n; ++i) {
     EXPECT_NEAR(y[i], y_ref[i], 1e-11) << "i=" << i;
+    EXPECT_NEAR(y[i], y_sym[i], 1e-11) << "i=" << i;
   }
   EXPECT_EQ(mults, symmetric_ternary_mults(n));
 }
@@ -75,7 +78,10 @@ INSTANTIATE_TEST_SUITE_P(
                       TilingCase{7, 7, 1},    // unit blocks
                       TilingCase{5, 1, 5},    // single central block
                       TilingCase{11, 2, 6},   // two blocks, padding
-                      TilingCase{9, 5, 2}));  // padding in last block
+                      TilingCase{9, 5, 2},    // padding in last block
+                      TilingCase{26, 4, 7},   // interior blocks + padding
+                      TilingCase{30, 4, 8},   // padded, larger edge
+                      TilingCase{21, 6, 4}));  // many interiors, padded
 
 TEST(BlockKernel, PerTypeMultCounts) {
   // Kernel mult counts must match ternary_mults_in_block per type
@@ -99,6 +105,95 @@ TEST(BlockKernel, PerTypeMultCounts) {
     EXPECT_EQ(mults,
               partition::ternary_mults_in_block(partition::classify(c), b))
         << "block (" << c.i << "," << c.j << "," << c.k << ")";
+  }
+}
+
+TEST(BlockKernel, SpecializedMatchesGenericPerBlock) {
+  // Every block class of the dispatching kernel must agree with the
+  // element-wise generic kernel block-by-block: identical mult counts and
+  // matching contributions to every slot, including aliased diagonal
+  // buffers and padded edge blocks.
+  struct Sweep {
+    std::size_t n;
+    std::size_t m;
+    std::size_t b;
+  };
+  const Sweep sweeps[] = {{20, 4, 5},    // exact: all four classes
+                          {18, 4, 5},    // padded edge blocks
+                          {13, 5, 3},    // padding, small edge
+                          {24, 6, 4}};   // more interiors
+  for (const auto& s : sweeps) {
+    Rng rng(s.n * 101 + s.m);
+    const auto a = tensor::random_symmetric(s.n, rng);
+    std::vector<double> x_pad(s.m * s.b, 0.0);
+    {
+      const auto x = rng.uniform_vector(s.n);
+      std::copy(x.begin(), x.end(), x_pad.begin());
+    }
+    bool saw_interior = false, saw_face_ij = false, saw_face_jk = false,
+         saw_central = false;
+    for (const auto& c : partition::all_lower_blocks(s.m)) {
+      std::vector<double> y_spec(s.m * s.b, 0.0);
+      std::vector<double> y_gen(s.m * s.b, 0.0);
+      BlockBuffers spec, gen;
+      for (int slot = 0; slot < 3; ++slot) {
+        const std::size_t block =
+            slot == 0 ? c.i : (slot == 1 ? c.j : c.k);
+        spec.x[slot] = gen.x[slot] = x_pad.data() + block * s.b;
+        spec.y[slot] = y_spec.data() + block * s.b;
+        gen.y[slot] = y_gen.data() + block * s.b;
+      }
+      const auto mults_spec = apply_block(a, c, s.b, spec);
+      const auto mults_gen = apply_block_generic(a, c, s.b, gen);
+      EXPECT_EQ(mults_spec, mults_gen)
+          << "block (" << c.i << "," << c.j << "," << c.k << ")";
+      for (std::size_t i = 0; i < y_spec.size(); ++i) {
+        EXPECT_NEAR(y_spec[i], y_gen[i], 1e-12)
+            << "block (" << c.i << "," << c.j << "," << c.k << ") i=" << i;
+      }
+      if (c.i > c.j && c.j > c.k) saw_interior = true;
+      if (c.i == c.j && c.j > c.k) saw_face_ij = true;
+      if (c.i > c.j && c.j == c.k) saw_face_jk = true;
+      if (c.i == c.j && c.j == c.k) saw_central = true;
+    }
+    EXPECT_TRUE(saw_interior && saw_face_ij && saw_face_jk && saw_central)
+        << "sweep m=" << s.m << " must exercise all four block classes";
+  }
+}
+
+TEST(BlockKernel, AliasedDiagonalBuffersSingleBlock) {
+  // Diagonal blocks receive aliased slot pointers (same underlying block
+  // buffer for the equal coordinates). The specialized face kernels must
+  // produce the same result as the generic kernel under that aliasing for
+  // a single isolated block of each diagonal class.
+  const std::size_t b = 6;
+  Rng rng(77);
+  const auto a = tensor::random_symmetric(3 * b, rng);
+  const auto x = rng.uniform_vector(3 * b);
+
+  const partition::BlockCoord diag_cases[] = {
+      {1, 1, 0},   // face_ij: x/y slots 0 and 1 alias
+      {2, 0, 0},   // face_jk: x/y slots 1 and 2 alias
+      {1, 1, 1}};  // central: all three slots alias
+  for (const auto& c : diag_cases) {
+    std::vector<double> y_spec(3 * b, 0.0);
+    std::vector<double> y_gen(3 * b, 0.0);
+    BlockBuffers spec, gen;
+    const std::size_t blocks[3] = {c.i, c.j, c.k};
+    for (int slot = 0; slot < 3; ++slot) {
+      spec.x[slot] = gen.x[slot] = x.data() + blocks[slot] * b;
+      spec.y[slot] = y_spec.data() + blocks[slot] * b;
+      gen.y[slot] = y_gen.data() + blocks[slot] * b;
+    }
+    const auto mults_spec = apply_block(a, c, b, spec);
+    const auto mults_gen = apply_block_generic(a, c, b, gen);
+    EXPECT_EQ(mults_spec, mults_gen);
+    EXPECT_EQ(mults_spec,
+              partition::ternary_mults_in_block(partition::classify(c), b));
+    for (std::size_t i = 0; i < y_spec.size(); ++i) {
+      EXPECT_NEAR(y_spec[i], y_gen[i], 1e-12)
+          << "block (" << c.i << "," << c.j << "," << c.k << ") i=" << i;
+    }
   }
 }
 
