@@ -1,0 +1,300 @@
+// Batched multi-vector STTSV reproduction (DESIGN.md §9): sweep the
+// panel width B and compare one aggregated batch::parallel_sttsv_batch
+// pass against the B-iteration single-vector Algorithm-5 loop on the
+// same plan. Verifies the subsystem's contract —
+//
+//   * lane outputs bitwise identical to the single-vector loop,
+//   * ledger words identical (words/vector stays the paper's optimum),
+//   * ledger messages and rounds divided by ~B (one aggregated message
+//     per rank pair per phase, independent of B),
+//   * plan-cache warm lookups orders of magnitude under a cold build,
+//
+// and times both paths, requiring >= 2x vectors/s at the widest panel in
+// the full sweep (panel kernels amortize every tensor-element load over
+// the whole batch). Results go to BENCH_batch.json in the working
+// directory. `--quick` runs a reduced sweep for CI smoke.
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "batch/batched_run.hpp"
+#include "batch/engine.hpp"
+#include "batch/plan.hpp"
+#include "core/parallel_sttsv.hpp"
+#include "repro_common.hpp"
+#include "simt/machine.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+#include "tensor/generators.hpp"
+
+namespace {
+
+using namespace sttsv;
+
+struct SweepPoint {
+  std::size_t lanes = 0;
+  double loop_s = 0.0;
+  double batched_s = 0.0;
+  std::uint64_t loop_words = 0;
+  std::uint64_t batched_words = 0;
+  std::uint64_t loop_messages = 0;
+  std::uint64_t batched_messages = 0;
+  std::uint64_t loop_rounds = 0;
+  std::uint64_t batched_rounds = 0;
+  std::uint64_t batched_max_words_sent = 0;
+  bool bitwise = false;
+};
+
+/// Runs the first `lanes` panel columns through both paths: the
+/// B-iteration core::parallel_sttsv loop and one aggregated batch pass.
+/// Timing is best-of-`reps`; ledger counters come from a dedicated
+/// (untimed) run of each path after a reset_ledger().
+SweepPoint run_point(simt::Machine& machine, const batch::Plan& plan,
+                     const tensor::SymTensor3& a,
+                     const std::vector<std::vector<double>>& panel,
+                     std::size_t lanes, std::size_t reps) {
+  SweepPoint pt;
+  pt.lanes = lanes;
+  const std::vector<std::vector<double>> x(panel.begin(),
+                                           panel.begin() +
+                                               static_cast<std::ptrdiff_t>(
+                                                   lanes));
+  const auto& part = plan.partition();
+  const auto& dist = plan.distribution();
+  const simt::Transport transport = plan.key().transport;
+
+  const auto run_loop = [&] {
+    std::vector<std::vector<double>> y(lanes);
+    for (std::size_t v = 0; v < lanes; ++v) {
+      y[v] = core::parallel_sttsv(machine, part, dist, a, x[v], transport).y;
+    }
+    return y;
+  };
+
+  // Reference outputs + loop-side ledger counters.
+  machine.reset_ledger();
+  const std::vector<std::vector<double>> y_loop = run_loop();
+  pt.loop_words = machine.ledger().total_words();
+  pt.loop_messages = machine.ledger().total_messages();
+  pt.loop_rounds = machine.ledger().rounds();
+
+  // Batched outputs + batch-side ledger counters.
+  machine.reset_ledger();
+  const batch::BatchRunResult batched =
+      batch::parallel_sttsv_batch(machine, plan, a, x);
+  pt.batched_words = machine.ledger().total_words();
+  pt.batched_messages = machine.ledger().total_messages();
+  pt.batched_rounds = machine.ledger().rounds();
+  pt.batched_max_words_sent = batched.maxima.words_sent;
+
+  pt.bitwise = batched.y.size() == lanes;
+  for (std::size_t v = 0; pt.bitwise && v < lanes; ++v) {
+    pt.bitwise = batched.y[v].size() == y_loop[v].size() &&
+                 std::memcmp(batched.y[v].data(), y_loop[v].data(),
+                             y_loop[v].size() * sizeof(double)) == 0;
+  }
+
+  // Best-of-reps wall clock for each path.
+  pt.loop_s = 1e300;
+  pt.batched_s = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    machine.reset_ledger();
+    Timer t;
+    run_loop();
+    pt.loop_s = std::min(pt.loop_s, t.seconds());
+
+    machine.reset_ledger();
+    t.reset();
+    batch::parallel_sttsv_batch(machine, plan, a, x);
+    pt.batched_s = std::min(pt.batched_s, t.seconds());
+  }
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sttsv;
+
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+
+  repro::banner(quick ? "Batched STTSV engine (quick smoke sweep)"
+                      : "Batched STTSV engine (panel sweep, n = 256)");
+  repro::Checker check;
+
+  const std::size_t q = 2;
+  const std::size_t n = quick ? 60 : 256;
+  const std::size_t reps = quick ? 1 : 3;
+  const std::vector<std::size_t> widths =
+      quick ? std::vector<std::size_t>{1, 4, 16}
+            : std::vector<std::size_t>{1, 2, 4, 8, 16};
+  const std::size_t max_b = widths.back();
+
+  // --- Plan cache: cold build vs warm lookup. --------------------------
+  batch::PlanCache cache;
+  const batch::PlanKey key = batch::plan_key(
+      n, batch::Family::kSpherical, q, simt::Transport::kPointToPoint);
+
+  Timer t;
+  const std::shared_ptr<const batch::Plan> plan = cache.get(key);
+  const double cold_s = t.seconds();
+  t.reset();
+  const std::shared_ptr<const batch::Plan> again = cache.get(key);
+  const double warm_s = t.seconds();
+
+  check.check(plan == again, "plan-cache hit returns the identical plan");
+  check.check(cache.hits() == 1 && cache.misses() == 1,
+              "plan-cache counters: one miss (cold), one hit (warm)");
+  std::cout << "  plan build (cold): " << format_double(cold_s * 1e3, 3)
+            << " ms,  cache hit (warm): " << format_double(warm_s * 1e6, 3)
+            << " us\n\n";
+
+  const std::size_t P = plan->num_processors();
+
+  // --- Inputs: one tensor, max_b deterministic panel columns. ----------
+  Rng rng(2025);
+  const tensor::SymTensor3 a = tensor::random_symmetric(n, rng);
+  std::vector<std::vector<double>> panel(max_b);
+  for (std::size_t v = 0; v < max_b; ++v) {
+    Rng lane_rng(9000 + v);
+    panel[v] = lane_rng.uniform_vector(n, -1.0, 1.0);
+  }
+
+  simt::Machine machine = plan->make_machine();
+
+  // --- Sweep the panel width. ------------------------------------------
+  std::vector<SweepPoint> points;
+  for (const std::size_t lanes : widths) {
+    points.push_back(run_point(machine, *plan, a, panel, lanes, reps));
+  }
+
+  TextTable table({"B", "loop s", "batched s", "speedup", "words ratio",
+                   "msgs loop", "msgs batched", "bitwise"},
+                  std::vector<Align>(8, Align::kRight));
+  for (const SweepPoint& pt : points) {
+    table.add_row({std::to_string(pt.lanes), format_double(pt.loop_s, 4),
+                   format_double(pt.batched_s, 4),
+                   format_double(pt.loop_s / pt.batched_s, 2),
+                   format_double(static_cast<double>(pt.batched_words) /
+                                     static_cast<double>(pt.loop_words),
+                                 3),
+                   std::to_string(pt.loop_messages),
+                   std::to_string(pt.batched_messages),
+                   pt.bitwise ? "yes" : "NO"});
+  }
+  std::cout << table << "\n";
+
+  for (const SweepPoint& pt : points) {
+    const std::string tag = "B=" + std::to_string(pt.lanes) + ": ";
+    check.check(pt.bitwise, tag + "batched lanes bitwise equal to loop");
+    check.check(pt.batched_words == pt.loop_words,
+                tag + "ledger words identical (words/vector unchanged)");
+    check.check(pt.batched_messages * pt.lanes == pt.loop_messages,
+                tag + "messages reduced exactly Bx");
+    check.check(pt.batched_rounds * pt.lanes == pt.loop_rounds,
+                tag + "rounds reduced exactly Bx");
+  }
+  const SweepPoint& widest = points.back();
+  if (!quick) {
+    check.check(widest.loop_s / widest.batched_s >= 2.0,
+                "B=16 batched throughput >= 2x the single-vector loop");
+  }
+  check.check(warm_s < cold_s, "warm plan lookup cheaper than cold build");
+
+  // --- Engine smoke: FIFO admission + deterministic auto-flush. --------
+  batch::EngineOptions opts;
+  opts.max_batch_size = 4;
+  batch::Engine engine(machine, plan, a, opts);
+  std::vector<std::vector<double>> served(10);
+  for (std::size_t v = 0; v < 10; ++v) {
+    engine.submit(std::vector<double>(panel[v % max_b]),
+                  [&served](std::size_t id, std::vector<double> y) {
+                    served[id] = std::move(y);
+                  });
+  }
+  engine.flush();
+  const batch::EngineStats& stats = engine.stats();
+  check.check(stats.requests_completed == 10 && engine.pending() == 0,
+              "engine served all submitted requests");
+  check.check(stats.batches_run == 3 && stats.largest_batch == 4,
+              "engine cut batches at max_batch_size (4 + 4 + flush 2)");
+  {
+    machine.reset_ledger();
+    bool engine_matches = true;
+    for (std::size_t v = 0; v < 10 && engine_matches; ++v) {
+      const auto single = core::parallel_sttsv(
+          machine, plan->partition(), plan->distribution(), a,
+          panel[v % max_b], plan->key().transport);
+      engine_matches = served[v].size() == single.y.size() &&
+                       std::memcmp(served[v].data(), single.y.data(),
+                                   single.y.size() * sizeof(double)) == 0;
+    }
+    check.check(engine_matches,
+                "engine outputs bitwise equal to single-vector runs");
+  }
+
+  // --- Machine-readable artifact. --------------------------------------
+  {
+    std::ofstream out("BENCH_batch.json");
+    repro::JsonWriter w(out);
+    w.begin_object();
+    w.field("bench", "bench_batch");
+    w.field("mode", quick ? "quick" : "full");
+    w.field("n", static_cast<std::uint64_t>(n));
+    w.field("family", "spherical");
+    w.field("q", static_cast<std::uint64_t>(q));
+    w.field("P", static_cast<std::uint64_t>(P));
+    w.field("transport", "point_to_point");
+    w.begin_object("plan_cache");
+    w.field("cold_build_seconds", cold_s);
+    w.field("warm_lookup_seconds", warm_s);
+    w.field("hits", cache.hits());
+    w.field("misses", cache.misses());
+    w.end_object();
+    w.begin_array("sweep");
+    for (const SweepPoint& pt : points) {
+      const double lanes = static_cast<double>(pt.lanes);
+      w.begin_object();
+      w.field("B", static_cast<std::uint64_t>(pt.lanes));
+      w.field("loop_seconds", pt.loop_s);
+      w.field("batched_seconds", pt.batched_s);
+      w.field("speedup", pt.loop_s / pt.batched_s);
+      w.field("loop_vectors_per_s", lanes / pt.loop_s);
+      w.field("batched_vectors_per_s", lanes / pt.batched_s);
+      w.field("loop_total_words", pt.loop_words);
+      w.field("batched_total_words", pt.batched_words);
+      w.field("loop_total_messages", pt.loop_messages);
+      w.field("batched_total_messages", pt.batched_messages);
+      w.field("loop_rounds", pt.loop_rounds);
+      w.field("batched_rounds", pt.batched_rounds);
+      w.field("batched_max_words_sent", pt.batched_max_words_sent);
+      w.field("bitwise_match", pt.bitwise);
+      w.end_object();
+    }
+    w.end_array();
+    w.begin_object("engine");
+    w.field("max_batch_size",
+            static_cast<std::uint64_t>(opts.max_batch_size));
+    w.field("requests_submitted", stats.requests_submitted);
+    w.field("requests_completed", stats.requests_completed);
+    w.field("batches_run", stats.batches_run);
+    w.field("largest_batch", static_cast<std::uint64_t>(stats.largest_batch));
+    w.end_object();
+    w.end_object();
+  }
+  std::cout << "\n  wrote BENCH_batch.json\n";
+
+  std::cout << "\n"
+            << (check.failures() == 0 ? "All" : "Some")
+            << " batched-engine checks "
+            << (check.failures() == 0 ? "passed." : "FAILED.") << "\n";
+  return check.exit_code();
+}

@@ -23,6 +23,7 @@
 #include "core/sttv_d.hpp"
 #include "core/two_step.hpp"
 #include "matrix/sym_matrix.hpp"
+#include "repro_common.hpp"
 #include "partition/blocks.hpp"
 #include "partition/tetra_partition.hpp"
 #include "partition/vector_distribution.hpp"
@@ -359,46 +360,50 @@ ExecutorTiming sweep_executor(std::size_t q, std::size_t n) {
 
 void write_json(const char* path) {
   std::ofstream out(path);
-  out.precision(6);
-  out << "{\n  \"bench\": \"bench_kernels\",\n";
-  out << "  \"flops_per_ternary_mult\": 2,\n";
-  out << "  \"block_classes\": [\n";
-  bool first = true;
+  repro::JsonWriter w(out);
+  w.begin_object();
+  w.field("bench", "bench_kernels");
+  w.field("flops_per_ternary_mult", std::uint64_t{2});
+  w.begin_array("block_classes");
   for (const std::size_t n : {96u, 192u, 256u, 384u}) {
     for (const ClassTiming& t : sweep_block_classes(n)) {
-      if (!first) out << ",\n";
-      first = false;
       const double mults = static_cast<double>(t.mults);
       const double entries = static_cast<double>(t.entries);
-      out << "    {\"n\": " << n << ", \"b\": " << (n + 3) / 4
-          << ", \"class\": \"" << t.cls << "\", \"blocks\": " << t.blocks
-          << ", \"entries\": " << t.entries
-          << ", \"ternary_mults\": " << t.mults
-          << ",\n     \"seed_seconds\": " << t.seed_s
-          << ", \"specialized_seconds\": " << t.spec_s
-          << ",\n     \"seed_entries_per_s\": " << entries / t.seed_s
-          << ", \"specialized_entries_per_s\": " << entries / t.spec_s
-          << ",\n     \"seed_gflops\": " << 2.0 * mults / t.seed_s / 1e9
-          << ", \"specialized_gflops\": " << 2.0 * mults / t.spec_s / 1e9
-          << ", \"speedup\": " << t.seed_s / t.spec_s << "}";
+      w.begin_object();
+      w.field("n", static_cast<std::uint64_t>(n));
+      w.field("b", static_cast<std::uint64_t>((n + 3) / 4));
+      w.field("class", t.cls);
+      w.field("blocks", static_cast<std::uint64_t>(t.blocks));
+      w.field("entries", t.entries);
+      w.field("ternary_mults", t.mults);
+      w.field("seed_seconds", t.seed_s);
+      w.field("specialized_seconds", t.spec_s);
+      w.field("seed_entries_per_s", entries / t.seed_s);
+      w.field("specialized_entries_per_s", entries / t.spec_s);
+      w.field("seed_gflops", 2.0 * mults / t.seed_s / 1e9);
+      w.field("specialized_gflops", 2.0 * mults / t.spec_s / 1e9);
+      w.field("speedup", t.seed_s / t.spec_s);
+      w.end_object();
     }
   }
-  out << "\n  ],\n  \"threaded_executor\": [\n";
-  first = true;
+  w.end_array();
+  w.begin_array("threaded_executor");
   for (const auto& [q, n] : std::vector<std::pair<std::size_t, std::size_t>>{
            {2, 120}, {2, 240}}) {
     const ExecutorTiming t = sweep_executor(q, n);
-    if (!first) out << ",\n";
-    first = false;
-    out << "    {\"n\": " << t.n << ", \"P\": " << t.P
-        << ", \"host_threads\": " << t.threads
-        << ", \"serial_seconds\": " << t.serial_s
-        << ", \"threaded_seconds\": " << t.threaded_s
-        << ", \"speedup\": " << t.serial_s / t.threaded_s
-        << ",\n     \"serial_total_ledger_words\": " << t.serial_words
-        << ", \"threaded_total_ledger_words\": " << t.threaded_words << "}";
+    w.begin_object();
+    w.field("n", static_cast<std::uint64_t>(t.n));
+    w.field("P", static_cast<std::uint64_t>(t.P));
+    w.field("host_threads", static_cast<std::uint64_t>(t.threads));
+    w.field("serial_seconds", t.serial_s);
+    w.field("threaded_seconds", t.threaded_s);
+    w.field("speedup", t.serial_s / t.threaded_s);
+    w.field("serial_total_ledger_words", t.serial_words);
+    w.field("threaded_total_ledger_words", t.threaded_words);
+    w.end_object();
   }
-  out << "\n  ]\n}\n";
+  w.end_array();
+  w.end_object();
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "apps/vec_ops.hpp"
+#include "batch/batched_run.hpp"
 #include "core/parallel_sttsv.hpp"
 #include "core/sttsv_seq.hpp"
 #include "support/check.hpp"
@@ -14,21 +15,20 @@ namespace {
 using SttsvFn =
     std::function<std::vector<double>(const std::vector<double>&)>;
 
-std::vector<std::vector<double>> gradient_impl(
-    const tensor::SymTensor3& a,
-    const std::vector<std::vector<double>>& columns, const SttsvFn& sttsv) {
-  const std::size_t n = a.dim();
-  const std::size_t r = columns.size();
-  STTSV_REQUIRE(r >= 1, "need at least one factor column");
+void check_columns(const tensor::SymTensor3& a,
+                   const std::vector<std::vector<double>>& columns) {
+  STTSV_REQUIRE(!columns.empty(), "need at least one factor column");
   for (const auto& col : columns) {
-    STTSV_REQUIRE(col.size() == n, "factor column length mismatch");
+    STTSV_REQUIRE(col.size() == a.dim(), "factor column length mismatch");
   }
+}
 
-  // Ỹ[:,ℓ] = A ×₂ x_ℓ ×₃ x_ℓ — the r STTSV calls (Algorithm 2 line 5).
-  std::vector<std::vector<double>> y_tilde(r);
-  for (std::size_t l = 0; l < r; ++l) y_tilde[l] = sttsv(columns[l]);
-
-  // G = (XᵀX) ∗ (XᵀX), then Y = X·G - Ỹ (Algorithm 2 lines 3 and 7).
+/// Algorithm 2 lines 3 and 7 given the STTSV results of line 5:
+/// G = (XᵀX) ∗ (XᵀX), then Y = X·G - Ỹ.
+std::vector<std::vector<double>> gradient_from_ytilde(
+    std::size_t n, const std::vector<std::vector<double>>& columns,
+    const std::vector<std::vector<double>>& y_tilde) {
+  const std::size_t r = columns.size();
   const auto g = hadamard_squared_gram(columns);
   std::vector<std::vector<double>> grad(r, std::vector<double>(n, 0.0));
   for (std::size_t l = 0; l < r; ++l) {
@@ -41,6 +41,18 @@ std::vector<std::vector<double>> gradient_impl(
     for (std::size_t i = 0; i < n; ++i) grad[l][i] -= y_tilde[l][i];
   }
   return grad;
+}
+
+/// Ỹ[:,ℓ] = A ×₂ x_ℓ ×₃ x_ℓ — the r STTSV calls (Algorithm 2 line 5).
+std::vector<std::vector<double>> gradient_impl(
+    const tensor::SymTensor3& a,
+    const std::vector<std::vector<double>>& columns, const SttsvFn& sttsv) {
+  check_columns(a, columns);
+  std::vector<std::vector<double>> y_tilde(columns.size());
+  for (std::size_t l = 0; l < columns.size(); ++l) {
+    y_tilde[l] = sttsv(columns[l]);
+  }
+  return gradient_from_ytilde(a.dim(), columns, y_tilde);
 }
 
 }  // namespace
@@ -61,6 +73,16 @@ std::vector<std::vector<double>> cp_gradient_parallel(
   return gradient_impl(a, columns, [&](const std::vector<double>& x) {
     return core::parallel_sttsv(machine, part, dist, a, x, transport).y;
   });
+}
+
+std::vector<std::vector<double>> cp_gradient_batched(
+    simt::Machine& machine, const batch::Plan& plan,
+    const tensor::SymTensor3& a,
+    const std::vector<std::vector<double>>& columns) {
+  check_columns(a, columns);
+  batch::BatchRunResult run =
+      batch::parallel_sttsv_batch(machine, plan, a, columns);
+  return gradient_from_ytilde(a.dim(), columns, run.y);
 }
 
 double cp_objective(const tensor::SymTensor3& a,

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "batch/plan.hpp"
 #include "partition/tetra_partition.hpp"
 #include "partition/vector_distribution.hpp"
 #include "simt/machine.hpp"
@@ -24,6 +25,15 @@ std::vector<std::vector<double>> cp_gradient_parallel(
     const partition::VectorDistribution& dist, const tensor::SymTensor3& a,
     const std::vector<std::vector<double>>& columns,
     simt::Transport transport = simt::Transport::kPointToPoint);
+
+/// The r STTSV calls of Algorithm 2 as ONE batched Algorithm-5 pass:
+/// all r column exchanges aggregate into a single message per rank pair
+/// per phase (words unchanged, messages ~r× fewer). Gradient values are
+/// bitwise identical to cp_gradient_parallel with the plan's transport.
+std::vector<std::vector<double>> cp_gradient_batched(
+    simt::Machine& machine, const batch::Plan& plan,
+    const tensor::SymTensor3& a,
+    const std::vector<std::vector<double>>& columns);
 
 /// The CP objective f(X) = 1/6 ||A - Σ_ℓ x_ℓ∘x_ℓ∘x_ℓ||², evaluated without
 /// materializing the rank-r tensor:

@@ -1,0 +1,164 @@
+#include "batch/batched_run.hpp"
+
+#include <algorithm>
+
+#include "batch/panel_kernels.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::batch {
+
+namespace {
+
+using partition::Share;
+using simt::Delivery;
+using simt::Envelope;
+
+}  // namespace
+
+BatchRunResult parallel_sttsv_batch(
+    simt::Machine& machine, const Plan& plan, const tensor::SymTensor3& a,
+    const std::vector<std::vector<double>>& x) {
+  const partition::TetraPartition& part = plan.partition();
+  const partition::VectorDistribution& dist = plan.distribution();
+  const std::size_t P = part.num_processors();
+  const std::size_t b = dist.block_length_b();
+  const std::size_t n = dist.logical_n();
+  const std::size_t B = x.size();
+  const simt::Transport transport = plan.key().transport;
+  STTSV_REQUIRE(machine.num_ranks() == P,
+                "machine rank count must match plan");
+  STTSV_REQUIRE(a.dim() == n, "tensor dimension must match plan");
+  STTSV_REQUIRE(B >= 1, "batch must contain at least one vector");
+  for (const auto& xv : x) {
+    STTSV_REQUIRE(xv.size() == n, "input vector length mismatch");
+  }
+
+  // Lane-interleaved padded panel: element g of lane v at g*B + v.
+  std::vector<double> x_pad(dist.padded_n() * B, 0.0);
+  for (std::size_t v = 0; v < B; ++v) {
+    for (std::size_t g = 0; g < n; ++g) x_pad[g * B + v] = x[v][g];
+  }
+
+  // ---- Phase 1: one aggregated x message per (rank, peer) pair. -------
+  std::vector<std::vector<Envelope>> outboxes(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const Plan::PeerExchange& ex : plan.exchanges(p)) {
+      if (ex.x_words == 0) continue;
+      Envelope env;
+      env.to = ex.peer;
+      env.data.reserve(ex.x_words * B);
+      for (const Plan::BlockSlice& s : ex.slices) {
+        const double* base =
+            x_pad.data() + (s.block * b + s.sender.offset) * B;
+        env.data.insert(env.data.end(), base, base + s.sender.length * B);
+      }
+      outboxes[p].push_back(std::move(env));
+    }
+  }
+  auto inboxes = machine.exchange(std::move(outboxes), transport);
+
+  // Unpack into per-rank panels of full local row blocks: rank p holds
+  // one b×B panel per row block in R_p, indexed by plan.local_index.
+  std::vector<std::vector<double>> x_loc(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    x_loc[p].assign(part.R(p).size() * b * B, 0.0);
+    for (const std::size_t i : part.R(p)) {
+      const Share s = dist.share(i, p);
+      std::copy_n(x_pad.data() + (i * b + s.offset) * B, s.length * B,
+                  x_loc[p].data() +
+                      (plan.local_index(p, i) * b + s.offset) * B);
+    }
+    for (const Delivery& d : inboxes[p]) {
+      const Plan::PeerExchange& ex = plan.exchange_between(d.from, p);
+      std::size_t cursor = 0;
+      for (const Plan::BlockSlice& s : ex.slices) {
+        STTSV_CHECK(cursor + s.sender.length * B <= d.data.size(),
+                    "x delivery shorter than expected");
+        std::copy_n(d.data.data() + cursor, s.sender.length * B,
+                    x_loc[p].data() +
+                        (plan.local_index(p, s.block) * b + s.sender.offset) *
+                            B);
+        cursor += s.sender.length * B;
+      }
+      STTSV_CHECK(cursor == d.data.size(), "x delivery longer than expected");
+    }
+  }
+  inboxes.clear();
+
+  // ---- Phase 2: panel kernels over owned blocks. ----------------------
+  std::vector<std::vector<double>> y_loc(P);
+  BatchRunResult result;
+  result.ternary_mults.assign(P, 0);
+  machine.run_ranks([&](std::size_t p) {
+    y_loc[p].assign(part.R(p).size() * b * B, 0.0);
+    for (const partition::BlockCoord& c : plan.owned(p)) {
+      PanelBuffers buf;
+      buf.x[0] = x_loc[p].data() + plan.local_index(p, c.i) * b * B;
+      buf.x[1] = x_loc[p].data() + plan.local_index(p, c.j) * b * B;
+      buf.x[2] = x_loc[p].data() + plan.local_index(p, c.k) * b * B;
+      buf.y[0] = y_loc[p].data() + plan.local_index(p, c.i) * b * B;
+      buf.y[1] = y_loc[p].data() + plan.local_index(p, c.j) * b * B;
+      buf.y[2] = y_loc[p].data() + plan.local_index(p, c.k) * b * B;
+      result.ternary_mults[p] += apply_block_panel(a, c, b, B, buf);
+    }
+    x_loc[p] = {};  // frees the gathered inputs early
+  });
+
+  // ---- Phase 3: one aggregated partial-y message per pair. ------------
+  std::vector<std::vector<Envelope>> y_out(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const Plan::PeerExchange& ex : plan.exchanges(p)) {
+      if (ex.y_words == 0) continue;
+      Envelope env;
+      env.to = ex.peer;
+      env.data.reserve(ex.y_words * B);
+      // Send the *receiver's* share of each common row block.
+      for (const Plan::BlockSlice& s : ex.slices) {
+        const double* base =
+            y_loc[p].data() +
+            (plan.local_index(p, s.block) * b + s.receiver.offset) * B;
+        env.data.insert(env.data.end(), base, base + s.receiver.length * B);
+      }
+      y_out[p].push_back(std::move(env));
+    }
+  }
+  auto y_in = machine.exchange(std::move(y_out), transport);
+
+  // Own share = local partial + sum of received partials, in the same
+  // rank-major, sender-ascending order as the single-vector run.
+  std::vector<double> y_pad(dist.padded_n() * B, 0.0);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const std::size_t i : part.R(p)) {
+      const Share s = dist.share(i, p);
+      const double* src =
+          y_loc[p].data() + (plan.local_index(p, i) * b + s.offset) * B;
+      double* dst = y_pad.data() + (i * b + s.offset) * B;
+      for (std::size_t e = 0; e < s.length * B; ++e) dst[e] += src[e];
+    }
+    for (const Delivery& d : y_in[p]) {
+      const Plan::PeerExchange& ex = plan.exchange_between(d.from, p);
+      std::size_t cursor = 0;
+      for (const Plan::BlockSlice& s : ex.slices) {
+        // For the pair (d.from -> p) the receiver's share is p's share.
+        STTSV_CHECK(cursor + s.receiver.length * B <= d.data.size(),
+                    "y delivery shorter than expected");
+        double* dst = y_pad.data() + (s.block * b + s.receiver.offset) * B;
+        for (std::size_t e = 0; e < s.receiver.length * B; ++e) {
+          dst[e] += d.data[cursor + e];
+        }
+        cursor += s.receiver.length * B;
+      }
+      STTSV_CHECK(cursor == d.data.size(), "y delivery longer than expected");
+    }
+  }
+
+  machine.ledger().verify_conservation();
+  result.y.assign(B, std::vector<double>(n));
+  for (std::size_t v = 0; v < B; ++v) {
+    for (std::size_t g = 0; g < n; ++g) result.y[v][g] = y_pad[g * B + v];
+  }
+  result.maxima = machine.ledger().maxima();
+  return result;
+}
+
+}  // namespace sttsv::batch

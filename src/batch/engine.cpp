@@ -1,0 +1,58 @@
+#include "batch/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace sttsv::batch {
+
+Engine::Engine(simt::Machine& machine, std::shared_ptr<const Plan> plan,
+               const tensor::SymTensor3& a, EngineOptions opts)
+    : machine_(machine), plan_(std::move(plan)), a_(a), opts_(opts) {
+  STTSV_REQUIRE(plan_ != nullptr, "engine needs a plan");
+  STTSV_REQUIRE(opts_.max_batch_size >= 1, "batch size must be >= 1");
+  STTSV_REQUIRE(machine_.num_ranks() == plan_->num_processors(),
+                "machine rank count must match plan");
+  STTSV_REQUIRE(a_.dim() == plan_->key().n,
+                "tensor dimension must match plan");
+}
+
+std::size_t Engine::submit(std::vector<double> x, Callback callback) {
+  STTSV_REQUIRE(x.size() == plan_->key().n, "request vector length mismatch");
+  const std::size_t id = next_id_++;
+  queue_.push_back(Request{id, std::move(x), std::move(callback)});
+  ++stats_.requests_submitted;
+  if (queue_.size() >= opts_.max_batch_size) run_one_batch();
+  return id;
+}
+
+void Engine::flush() {
+  while (!queue_.empty()) run_one_batch();
+}
+
+void Engine::run_one_batch() {
+  const std::size_t B = std::min(queue_.size(), opts_.max_batch_size);
+  STTSV_CHECK(B >= 1, "empty batch");
+  std::vector<Request> batch;
+  batch.reserve(B);
+  for (std::size_t v = 0; v < B; ++v) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  std::vector<std::vector<double>> x(B);
+  for (std::size_t v = 0; v < B; ++v) x[v] = std::move(batch[v].x);
+
+  BatchRunResult result = parallel_sttsv_batch(machine_, *plan_, a_, x);
+
+  ++stats_.batches_run;
+  stats_.largest_batch = std::max(stats_.largest_batch, B);
+  for (std::size_t v = 0; v < B; ++v) {
+    if (batch[v].callback) {
+      batch[v].callback(batch[v].id, std::move(result.y[v]));
+    }
+    ++stats_.requests_completed;
+  }
+}
+
+}  // namespace sttsv::batch

@@ -1,0 +1,81 @@
+#pragma once
+// Request scheduler over the batched STTSV engine (DESIGN.md §9).
+// Callers submit independent (x, callback) requests against one resident
+// tensor; the engine admits them into a FIFO queue and forms batches
+// deterministically: a batch is cut as soon as max_batch_size requests
+// are pending (auto-flush) or when flush() drains the queue. Batches
+// preserve submission order, so a given request sequence always produces
+// the same batch boundaries, the same aggregated messages, and bitwise
+// identical outputs — the serving-path analogue of the repo's
+// "host parallelism must be unobservable" rule.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "batch/batched_run.hpp"
+#include "batch/plan.hpp"
+#include "simt/machine.hpp"
+#include "tensor/sym_tensor.hpp"
+
+namespace sttsv::batch {
+
+struct EngineOptions {
+  /// Auto-flush threshold: a batch runs as soon as this many requests
+  /// are pending. flush() also cuts batches of at most this size.
+  std::size_t max_batch_size = 16;
+};
+
+struct EngineStats {
+  std::uint64_t requests_submitted = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t batches_run = 0;
+  std::size_t largest_batch = 0;
+};
+
+class Engine {
+ public:
+  /// Called with the request id and the finished y = A ×₂ x ×₃ x.
+  using Callback =
+      std::function<void(std::size_t id, std::vector<double> y)>;
+
+  /// The machine, plan and tensor must outlive the engine; the tensor
+  /// dimension must match plan.key().n.
+  Engine(simt::Machine& machine, std::shared_ptr<const Plan> plan,
+         const tensor::SymTensor3& a, EngineOptions opts = {});
+
+  /// Admits one request; returns its id (dense, starting at 0). Runs a
+  /// batch inline — invoking callbacks before returning — whenever the
+  /// pending count reaches max_batch_size.
+  std::size_t submit(std::vector<double> x, Callback callback);
+
+  /// Drains the queue: runs pending requests in batches of at most
+  /// max_batch_size, in submission order.
+  void flush();
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  [[nodiscard]] const Plan& plan() const { return *plan_; }
+  [[nodiscard]] const EngineOptions& options() const { return opts_; }
+
+ private:
+  void run_one_batch();
+
+  struct Request {
+    std::size_t id = 0;
+    std::vector<double> x;
+    Callback callback;
+  };
+
+  simt::Machine& machine_;
+  std::shared_ptr<const Plan> plan_;
+  const tensor::SymTensor3& a_;
+  EngineOptions opts_;
+  std::deque<Request> queue_;
+  std::size_t next_id_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace sttsv::batch

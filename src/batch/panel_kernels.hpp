@@ -1,0 +1,40 @@
+#pragma once
+// Panel variants of the local block kernels (DESIGN.md §9): apply one
+// b×b×b tensor block to a *panel* of B vectors at once. Panels are
+// lane-interleaved — element l of lane v lives at l*lanes + v — so the
+// innermost lane loop is a contiguous SIMD-friendly run and every packed
+// tensor entry is loaded once per block instead of once per vector.
+//
+// Contract: lane v of the output is bitwise identical to running the
+// single-vector kernels (core::apply_block) on lane v alone. Each lane's
+// arithmetic is independent and performed in the same order as the
+// single-vector kernel, so batching reorders nothing within a lane.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "partition/blocks.hpp"
+#include "tensor/sym_tensor.hpp"
+
+namespace sttsv::batch {
+
+/// Row-block-local panel views. Slot 0 corresponds to row block c.i,
+/// slot 1 to c.j, slot 2 to c.k; each is a b×lanes lane-interleaved
+/// panel. For diagonal blocks the caller passes aliased pointers, as in
+/// core::BlockBuffers.
+struct PanelBuffers {
+  const double* x[3] = {nullptr, nullptr, nullptr};
+  double* y[3] = {nullptr, nullptr, nullptr};
+};
+
+/// Accumulates the contributions of block c into the y panels for all
+/// `lanes` vectors. Returns the ternary multiplication count summed over
+/// lanes (lanes × the single-vector count). Dispatches by block class
+/// like core::apply_block; lanes are processed in register-blocked
+/// chunks of 8/4/2/1.
+std::uint64_t apply_block_panel(const tensor::SymTensor3& a,
+                                const partition::BlockCoord& c,
+                                std::size_t b, std::size_t lanes,
+                                const PanelBuffers& buf);
+
+}  // namespace sttsv::batch

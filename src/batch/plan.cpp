@@ -1,0 +1,174 @@
+#include "batch/plan.hpp"
+
+#include <algorithm>
+
+#include "steiner/constructions.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::batch {
+
+namespace {
+
+std::size_t family_processor_count(Family family, std::uint64_t param) {
+  switch (family) {
+    case Family::kSpherical:
+      return static_cast<std::size_t>(param * (param * param + 1));
+    case Family::kBoolean: {
+      const std::uint64_t m = 1ULL << param;
+      return static_cast<std::size_t>(m * (m - 1) * (m - 2) / 24);
+    }
+    case Family::kTrivial:
+      return static_cast<std::size_t>(param * (param - 1) * (param - 2) / 6);
+  }
+  STTSV_CHECK(false, "unknown Steiner family");
+  return 0;
+}
+
+steiner::SteinerSystem build_system(const PlanKey& key) {
+  switch (key.family) {
+    case Family::kSpherical:
+      return steiner::spherical_system(key.param);
+    case Family::kBoolean:
+      return steiner::boolean_quadruple_system(
+          static_cast<unsigned>(key.param));
+    case Family::kTrivial:
+      return steiner::trivial_triple_system(
+          static_cast<std::size_t>(key.param));
+  }
+  STTSV_CHECK(false, "unknown Steiner family");
+}
+
+}  // namespace
+
+PlanKey plan_key(std::size_t n, Family family, std::uint64_t param,
+                 simt::Transport transport) {
+  PlanKey key;
+  key.n = n;
+  key.family = family;
+  key.param = param;
+  key.transport = transport;
+  key.processors = family_processor_count(family, param);
+  return key;
+}
+
+std::size_t PlanKeyHash::operator()(const PlanKey& k) const noexcept {
+  std::size_t h = k.n;
+  const auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(k.processors);
+  mix(static_cast<std::size_t>(k.family));
+  mix(static_cast<std::size_t>(k.param));
+  mix(static_cast<std::size_t>(k.transport));
+  return h;
+}
+
+Plan::Plan(PlanKey key, std::unique_ptr<partition::TetraPartition> part,
+           std::unique_ptr<partition::VectorDistribution> dist)
+    : key_(key), part_(std::move(part)), dist_(std::move(dist)) {
+  const std::size_t P = part_->num_processors();
+  const std::size_t m = part_->num_row_blocks();
+
+  // Peers of p and the blocks shared with each: by the Steiner property
+  // two distinct subsets R_p, R_peer meet in at most 2 points, so every
+  // PeerExchange carries 1 or 2 slices (Section 7.2.2).
+  exchanges_.resize(P);
+  owned_.resize(P);
+  local_index_.assign(P, std::vector<std::size_t>(m, SIZE_MAX));
+  for (std::size_t p = 0; p < P; ++p) {
+    owned_[p] = part_->owned_blocks(p);
+    const auto& rp = part_->R(p);
+    for (std::size_t pos = 0; pos < rp.size(); ++pos) {
+      local_index_[p][rp[pos]] = pos;
+    }
+    std::vector<std::size_t> peers;
+    for (const std::size_t i : rp) {
+      for (const std::size_t other : part_->Q(i)) {
+        if (other != p) peers.push_back(other);
+      }
+    }
+    std::sort(peers.begin(), peers.end());
+    peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+    for (const std::size_t peer : peers) {
+      PeerExchange ex;
+      ex.peer = peer;
+      const auto& rq = part_->R(peer);
+      std::vector<std::size_t> common;
+      std::set_intersection(rp.begin(), rp.end(), rq.begin(), rq.end(),
+                            std::back_inserter(common));
+      for (const std::size_t i : common) {
+        BlockSlice slice;
+        slice.block = i;
+        slice.sender = dist_->share(i, p);
+        slice.receiver = dist_->share(i, peer);
+        ex.x_words += slice.sender.length;
+        ex.y_words += slice.receiver.length;
+        ex.slices.push_back(slice);
+      }
+      if (ex.x_words > 0 || ex.y_words > 0) {
+        exchanges_[p].push_back(std::move(ex));
+      }
+    }
+  }
+}
+
+const Plan::PeerExchange& Plan::exchange_between(std::size_t from,
+                                                 std::size_t to) const {
+  STTSV_REQUIRE(from < exchanges_.size(), "rank out of range");
+  const auto& exs = exchanges_[from];
+  const auto it = std::lower_bound(
+      exs.begin(), exs.end(), to,
+      [](const PeerExchange& e, std::size_t peer) { return e.peer < peer; });
+  STTSV_REQUIRE(it != exs.end() && it->peer == to,
+                "ranks do not exchange data under this plan");
+  return *it;
+}
+
+std::size_t Plan::local_index(std::size_t p, std::size_t i) const {
+  STTSV_REQUIRE(p < local_index_.size(), "rank out of range");
+  STTSV_REQUIRE(i < local_index_[p].size(), "row block out of range");
+  const std::size_t pos = local_index_[p][i];
+  STTSV_REQUIRE(pos != SIZE_MAX, "row block not in R_p");
+  return pos;
+}
+
+std::shared_ptr<const Plan> Plan::build(const PlanKey& key) {
+  STTSV_REQUIRE(key.n >= 1, "plan needs a positive dimension");
+  auto part = std::make_unique<partition::TetraPartition>(
+      partition::TetraPartition::build(build_system(key)));
+  STTSV_REQUIRE(key.processors == part->num_processors(),
+                "plan key processor count does not match the family");
+  auto dist =
+      std::make_unique<partition::VectorDistribution>(*part, key.n);
+  return std::shared_ptr<const Plan>(
+      new Plan(key, std::move(part), std::move(dist)));
+}
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  STTSV_REQUIRE(capacity >= 1, "plan cache needs capacity >= 1");
+}
+
+std::shared_ptr<const Plan> PlanCache::get(const PlanKey& key) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++hits_;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return it->second->second;
+  }
+  ++misses_;
+  auto plan = Plan::build(key);
+  entries_.emplace_front(key, plan);
+  index_[key] = entries_.begin();
+  if (entries_.size() > capacity_) {
+    index_.erase(entries_.back().first);
+    entries_.pop_back();
+  }
+  return plan;
+}
+
+void PlanCache::clear() {
+  entries_.clear();
+  index_.clear();
+}
+
+}  // namespace sttsv::batch

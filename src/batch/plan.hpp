@@ -1,0 +1,156 @@
+#pragma once
+// Memoized execution plans for repeated STTSV runs against one tensor
+// shape (DESIGN.md §9). Building a run's combinatorial state — the
+// Steiner system, the tetrahedral partition, the vector distribution and
+// the per-pair exchange walk — costs far more than a single apply once
+// the tensor is resident, and none of it depends on the vector values.
+// A Plan captures all of it immutably; a PlanCache memoizes Plans by
+// (n, P, Steiner family, transport) with LRU eviction so serving
+// workloads (batch::Engine, multi-start HOPM, CP sweeps) pay setup once.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "partition/tetra_partition.hpp"
+#include "partition/vector_distribution.hpp"
+#include "simt/machine.hpp"
+
+namespace sttsv::batch {
+
+/// Which built-in Steiner (m, r, 3) construction backs the partition.
+enum class Family : std::uint8_t {
+  kSpherical,  // S(q²+1, q+1, 3), param = q (prime power)
+  kBoolean,    // S(2^k, 4, 3),    param = k >= 3
+  kTrivial,    // S(m, 3, 3),      param = m >= 4
+};
+
+/// Cache key: everything a plan's structure depends on. `processors` is
+/// derived from (family, param) — plan_key() fills it — but stays in the
+/// key so lookups are self-describing and mismatches fail loudly.
+struct PlanKey {
+  std::size_t n = 0;           // logical vector/tensor dimension
+  std::size_t processors = 0;  // P = number of Steiner blocks
+  Family family = Family::kSpherical;
+  std::uint64_t param = 0;     // q / k / m, per Family
+  simt::Transport transport = simt::Transport::kPointToPoint;
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+/// Builds a key with `processors` computed from the family formulas
+/// (spherical q(q²+1), boolean 2^k(2^k-1)(2^k-2)/24, trivial C(m,3)).
+PlanKey plan_key(std::size_t n, Family family, std::uint64_t param,
+                 simt::Transport transport);
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const noexcept;
+};
+
+/// An immutable, shareable plan: partition + distribution + the exchange
+/// walk of Algorithm 5 precomputed per ordered rank pair. parallel_sttsv
+/// rederives this walk (peer sets, R_p intersections, shares) on every
+/// call; batched runs read it straight from the plan.
+class Plan {
+ public:
+  /// One row-block share inside one aggregated message for the ordered
+  /// pair (p, peer): `sender` is p's share of row block `block` (what a
+  /// phase-1 x message carries), `receiver` is the peer's share (what a
+  /// phase-3 partial-y message carries).
+  struct BlockSlice {
+    std::size_t block = 0;
+    partition::Share sender;
+    partition::Share receiver;
+  };
+
+  /// All traffic between p and one peer, slices in ascending block order
+  /// (the deterministic walk both endpoints replay).
+  struct PeerExchange {
+    std::size_t peer = 0;
+    std::vector<BlockSlice> slices;
+    std::size_t x_words = 0;  // per-vector words sent p -> peer in phase 1
+    std::size_t y_words = 0;  // per-vector words sent p -> peer in phase 3
+  };
+
+  /// Builds the plan for `key` (constructs the Steiner system, partition,
+  /// distribution, and exchange walks). Throws PreconditionError on an
+  /// inadmissible key (e.g. non-prime-power q).
+  static std::shared_ptr<const Plan> build(const PlanKey& key);
+
+  [[nodiscard]] const PlanKey& key() const { return key_; }
+  [[nodiscard]] const partition::TetraPartition& partition() const {
+    return *part_;
+  }
+  [[nodiscard]] const partition::VectorDistribution& distribution() const {
+    return *dist_;
+  }
+  [[nodiscard]] std::size_t num_processors() const { return key_.processors; }
+
+  /// Exchanges of rank p, ascending peer order; only peers with traffic.
+  [[nodiscard]] const std::vector<PeerExchange>& exchanges(
+      std::size_t p) const {
+    return exchanges_[p];
+  }
+
+  /// The exchange record for the ordered pair (from, to); both ranks must
+  /// actually exchange data (throws otherwise).
+  [[nodiscard]] const PeerExchange& exchange_between(std::size_t from,
+                                                     std::size_t to) const;
+
+  /// Owned blocks of p (cached copy of partition().owned_blocks(p)).
+  [[nodiscard]] const std::vector<partition::BlockCoord>& owned(
+      std::size_t p) const {
+    return owned_[p];
+  }
+
+  /// Position of row block i within R_p (p's local block numbering).
+  [[nodiscard]] std::size_t local_index(std::size_t p, std::size_t i) const;
+
+  /// A machine sized for this plan.
+  [[nodiscard]] simt::Machine make_machine() const {
+    return simt::Machine(key_.processors);
+  }
+
+ private:
+  Plan(PlanKey key, std::unique_ptr<partition::TetraPartition> part,
+       std::unique_ptr<partition::VectorDistribution> dist);
+
+  PlanKey key_;
+  std::unique_ptr<partition::TetraPartition> part_;
+  std::unique_ptr<partition::VectorDistribution> dist_;
+  std::vector<std::vector<PeerExchange>> exchanges_;
+  std::vector<std::vector<partition::BlockCoord>> owned_;
+  // local_index lookup: per rank, row block -> position in R_p (or npos).
+  std::vector<std::vector<std::size_t>> local_index_;
+};
+
+/// LRU-memoized Plan::build. Hits return the cached shared_ptr (pointer
+/// identity); misses build, insert, and evict the least recently used
+/// entry beyond `capacity`. Not thread-safe: the simulated machine is
+/// driven from one thread (host threads live below run_ranks only).
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = 8);
+
+  std::shared_ptr<const Plan> get(const PlanKey& key);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  void clear();
+
+ private:
+  using Entry = std::pair<PlanKey, std::shared_ptr<const Plan>>;
+  std::size_t capacity_;
+  std::list<Entry> entries_;  // front = most recently used
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sttsv::batch

@@ -174,8 +174,9 @@ ParallelRunResult parallel_sttsv(simt::Machine& machine,
 
   machine.ledger().verify_conservation();
   result.y.assign(y_pad.begin(), y_pad.begin() + static_cast<long>(n));
-  result.max_words_sent = machine.ledger().max_words_sent();
-  result.max_words_received = machine.ledger().max_words_received();
+  const simt::LedgerMaxima maxima = machine.ledger().maxima();
+  result.max_words_sent = maxima.words_sent;
+  result.max_words_received = maxima.words_received;
   return result;
 }
 

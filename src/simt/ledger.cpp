@@ -68,6 +68,10 @@ std::uint64_t CommLedger::max_words_received() const {
   return *std::max_element(received_.begin(), received_.end());
 }
 
+LedgerMaxima CommLedger::maxima() const {
+  return LedgerMaxima{max_words_sent(), max_words_received()};
+}
+
 std::uint64_t CommLedger::total_words() const {
   std::uint64_t total = 0;
   for (const auto w : sent_) total += w;

@@ -17,6 +17,13 @@
 
 namespace sttsv::simt {
 
+/// The per-run maxima bounded by the paper's Theorem 5.2: max over ranks
+/// of words sent and of words received (equal for symmetric exchanges).
+struct LedgerMaxima {
+  std::uint64_t words_sent = 0;
+  std::uint64_t words_received = 0;
+};
+
 class CommLedger {
  public:
   explicit CommLedger(std::size_t num_ranks);
@@ -43,6 +50,9 @@ class CommLedger {
   /// receive for our symmetric exchanges); expose both.
   [[nodiscard]] std::uint64_t max_words_sent() const;
   [[nodiscard]] std::uint64_t max_words_received() const;
+
+  /// Both maxima in one reduction — the pair every run result reports.
+  [[nodiscard]] LedgerMaxima maxima() const;
   [[nodiscard]] std::uint64_t total_words() const;
   [[nodiscard]] std::uint64_t total_messages() const;
   [[nodiscard]] std::uint64_t rounds() const { return rounds_; }

@@ -59,6 +59,52 @@ TEST(EigenSearch, DeduplicatesRepeatedConvergence) {
   EXPECT_LT(sign_invariant_distance(pairs[0].vector, v), 1e-5);
 }
 
+TEST(EigenSearch, BatchedMatchesPerStartParallelLoop) {
+  // The batched driver promises per-start arithmetic identical to
+  // hopm_parallel with seed seed_base + start: every returned pair must
+  // carry the exact eigenvalue and residual of one of those runs
+  // (canonicalized), not merely a close value.
+  Rng rng(13);
+  const std::size_t n = 60;
+  const auto a = tensor::random_low_rank(n, {4.0, 1.0}, rng, nullptr);
+
+  EigenSearchOptions opts;
+  opts.num_starts = 4;
+  opts.hopm.shift = 1.0;
+  opts.hopm.max_iterations = 2000;
+
+  const auto plan = batch::Plan::build(
+      batch::plan_key(n, batch::Family::kSpherical, 2,
+                      simt::Transport::kPointToPoint));
+  simt::Machine machine = plan->make_machine();
+  const auto pairs = find_eigenpairs_batched(machine, plan, a, opts);
+  ASSERT_FALSE(pairs.empty());
+
+  std::vector<HopmResult> loop;
+  for (std::size_t s = 0; s < opts.num_starts; ++s) {
+    HopmOptions run = opts.hopm;
+    run.seed = opts.seed_base + s;
+    loop.push_back(hopm_parallel(machine, plan->partition(),
+                                 plan->distribution(), a, run));
+  }
+
+  for (const auto& pair : pairs) {
+    bool matched = false;
+    for (const HopmResult& res : loop) {
+      if (!res.converged) continue;
+      const double sign =
+          dot(pair.vector, res.eigenvector) < 0.0 ? -1.0 : 1.0;
+      if (pair.value == sign * res.eigenvalue &&
+          pair.residual == res.residual) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "eigenpair " << pair.value
+                         << " not produced by any per-start loop run";
+  }
+}
+
 TEST(EigenSearch, SortedByMagnitude) {
   const auto a = tensor::super_diagonal({1.0, 5.0, 3.0});
   EigenSearchOptions opts;
