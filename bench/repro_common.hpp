@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "partition/blocks.hpp"
+#include "simt/ledger.hpp"
 #include "support/check.hpp"
 #include "support/table.hpp"
 #include "support/text.hpp"
@@ -152,5 +153,27 @@ class JsonWriter {
   std::ostream& out_;
   std::vector<bool> needs_comma_;
 };
+
+/// Emits the ledger's two channels — goodput (the Theorem 5.2 quantity)
+/// and resilience overhead — as one "ledger" object in the current JSON
+/// scope. Every bench that exercises ReliableExchange reports both so
+/// artifacts can show the paper bound holding on goodput while pricing
+/// the protocol separately.
+inline void write_ledger_channels(JsonWriter& w,
+                                  const simt::CommLedger& ledger) {
+  w.begin_object("ledger");
+  w.field("max_words_sent", ledger.max_words_sent());
+  w.field("max_words_received", ledger.max_words_received());
+  w.field("total_words", ledger.total_words());
+  w.field("total_messages", ledger.total_messages());
+  w.field("rounds", ledger.rounds());
+  w.field("max_overhead_words_sent", ledger.max_overhead_words_sent());
+  w.field("max_overhead_words_received",
+          ledger.max_overhead_words_received());
+  w.field("total_overhead_words", ledger.total_overhead_words());
+  w.field("overhead_messages", ledger.overhead_messages());
+  w.field("overhead_rounds", ledger.overhead_rounds());
+  w.end_object();
+}
 
 }  // namespace sttsv::repro

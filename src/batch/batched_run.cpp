@@ -18,6 +18,14 @@ using simt::Envelope;
 BatchRunResult parallel_sttsv_batch(
     simt::Machine& machine, const Plan& plan, const tensor::SymTensor3& a,
     const std::vector<std::vector<double>>& x) {
+  simt::DirectExchange direct(machine);
+  return parallel_sttsv_batch(direct, plan, a, x);
+}
+
+BatchRunResult parallel_sttsv_batch(
+    simt::Exchanger& exchanger, const Plan& plan, const tensor::SymTensor3& a,
+    const std::vector<std::vector<double>>& x) {
+  simt::Machine& machine = exchanger.machine();
   const partition::TetraPartition& part = plan.partition();
   const partition::VectorDistribution& dist = plan.distribution();
   const std::size_t P = part.num_processors();
@@ -55,7 +63,8 @@ BatchRunResult parallel_sttsv_batch(
       outboxes[p].push_back(std::move(env));
     }
   }
-  auto inboxes = machine.exchange(std::move(outboxes), transport);
+  exchanger.set_phase("x-panel");
+  auto inboxes = exchanger.exchange(std::move(outboxes), transport);
 
   // Unpack into per-rank panels of full local row blocks: rank p holds
   // one b×B panel per row block in R_p, indexed by plan.local_index.
@@ -122,7 +131,8 @@ BatchRunResult parallel_sttsv_batch(
       y_out[p].push_back(std::move(env));
     }
   }
-  auto y_in = machine.exchange(std::move(y_out), transport);
+  exchanger.set_phase("y-panel");
+  auto y_in = exchanger.exchange(std::move(y_out), transport);
 
   // Own share = local partial + sum of received partials, in the same
   // rank-major, sender-ascending order as the single-vector run.

@@ -16,6 +16,9 @@ Engine::Engine(simt::Machine& machine, std::shared_ptr<const Plan> plan,
                 "machine rank count must match plan");
   STTSV_REQUIRE(a_.dim() == plan_->key().n,
                 "tensor dimension must match plan");
+  STTSV_REQUIRE(opts_.exchanger == nullptr ||
+                    &opts_.exchanger->machine() == &machine_,
+                "engine exchanger must wrap the engine's machine");
 }
 
 std::size_t Engine::submit(std::vector<double> x, Callback callback) {
@@ -34,17 +37,24 @@ void Engine::flush() {
 void Engine::run_one_batch() {
   const std::size_t B = std::min(queue_.size(), opts_.max_batch_size);
   STTSV_CHECK(B >= 1, "empty batch");
+  std::vector<std::vector<double>> x(B);
+  for (std::size_t v = 0; v < B; ++v) x[v] = queue_[v].x;
+
+  // Requests leave the queue only after the batch succeeds: a FaultError
+  // from a fail-fast resilient exchange propagates with the batch still
+  // queued, so the caller can retry flush() (inputs were copied, not
+  // consumed).
+  BatchRunResult result =
+      opts_.exchanger != nullptr
+          ? parallel_sttsv_batch(*opts_.exchanger, *plan_, a_, x)
+          : parallel_sttsv_batch(machine_, *plan_, a_, x);
+
   std::vector<Request> batch;
   batch.reserve(B);
   for (std::size_t v = 0; v < B; ++v) {
     batch.push_back(std::move(queue_.front()));
     queue_.pop_front();
   }
-  std::vector<std::vector<double>> x(B);
-  for (std::size_t v = 0; v < B; ++v) x[v] = std::move(batch[v].x);
-
-  BatchRunResult result = parallel_sttsv_batch(machine_, *plan_, a_, x);
-
   ++stats_.batches_run;
   stats_.largest_batch = std::max(stats_.largest_batch, B);
   for (std::size_t v = 0; v < B; ++v) {

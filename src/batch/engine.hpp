@@ -18,6 +18,7 @@
 #include "batch/batched_run.hpp"
 #include "batch/plan.hpp"
 #include "simt/machine.hpp"
+#include "simt/reliable_exchange.hpp"
 #include "tensor/sym_tensor.hpp"
 
 namespace sttsv::batch {
@@ -26,6 +27,14 @@ struct EngineOptions {
   /// Auto-flush threshold: a batch runs as soon as this many requests
   /// are pending. flush() also cuts batches of at most this size.
   std::size_t max_batch_size = 16;
+  /// Optional resilience seam (DESIGN.md §10): when set, batches run
+  /// through this exchanger (it must wrap the engine's machine). With a
+  /// simt::ReliableExchange under kFailFast, a batch whose retry budget
+  /// is exhausted raises simt::FaultError out of submit()/flush() — the
+  /// batch's requests stay queued, so the caller may retry the flush;
+  /// under kDegrade the batch completes and the exchanger's reports()
+  /// record the degraded exchanges. Non-owning; must outlive the engine.
+  simt::Exchanger* exchanger = nullptr;
 };
 
 struct EngineStats {

@@ -50,6 +50,17 @@ ParallelRunResult parallel_sttsv(simt::Machine& machine,
                                  const tensor::SymTensor3& a,
                                  const std::vector<double>& x,
                                  simt::Transport transport) {
+  simt::DirectExchange direct(machine);
+  return parallel_sttsv(direct, part, dist, a, x, transport);
+}
+
+ParallelRunResult parallel_sttsv(simt::Exchanger& exchanger,
+                                 const TetraPartition& part,
+                                 const VectorDistribution& dist,
+                                 const tensor::SymTensor3& a,
+                                 const std::vector<double>& x,
+                                 simt::Transport transport) {
+  simt::Machine& machine = exchanger.machine();
   const std::size_t P = part.num_processors();
   const std::size_t b = dist.block_length_b();
   const std::size_t n = dist.logical_n();
@@ -78,7 +89,8 @@ ParallelRunResult parallel_sttsv(simt::Machine& machine,
       if (!env.data.empty()) outboxes[p].push_back(std::move(env));
     }
   }
-  auto inboxes = machine.exchange(std::move(outboxes), transport);
+  exchanger.set_phase("x-shares");
+  auto inboxes = exchanger.exchange(std::move(outboxes), transport);
 
   // Unpack into full local row blocks x_loc[p][i] (length b each).
   // Start from the rank's own share, then place every delivery.
@@ -145,7 +157,8 @@ ParallelRunResult parallel_sttsv(simt::Machine& machine,
       if (!env.data.empty()) y_out[p].push_back(std::move(env));
     }
   }
-  auto y_in = machine.exchange(std::move(y_out), transport);
+  exchanger.set_phase("y-partials");
+  auto y_in = exchanger.exchange(std::move(y_out), transport);
 
   // Own share = local partial + sum of received partials.
   std::vector<double> y_pad(dist.padded_n(), 0.0);

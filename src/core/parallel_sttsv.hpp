@@ -15,6 +15,7 @@
 #include "partition/tetra_partition.hpp"
 #include "partition/vector_distribution.hpp"
 #include "simt/machine.hpp"
+#include "simt/reliable_exchange.hpp"
 #include "tensor/sym_tensor.hpp"
 
 namespace sttsv::core {
@@ -35,6 +36,22 @@ struct ParallelRunResult {
 /// dist built over the same partition, x.size() == dist.logical_n(),
 /// a.dim() == dist.logical_n().
 ParallelRunResult parallel_sttsv(simt::Machine& machine,
+                                 const partition::TetraPartition& part,
+                                 const partition::VectorDistribution& dist,
+                                 const tensor::SymTensor3& a,
+                                 const std::vector<double>& x,
+                                 simt::Transport transport);
+
+/// Same run, but communication goes through `exchanger` (the resilience
+/// seam, DESIGN.md §10). With simt::DirectExchange this is the raw run
+/// above; with simt::ReliableExchange the two vector phases survive
+/// injected wire faults — y stays bitwise identical to the fault-free
+/// run and the ledger's goodput channel stays at the fault-free value,
+/// with retransmission/ACK cost accounted as overhead. A rank exceeding
+/// the retry budget raises simt::FaultError (kFailFast) or is healed by
+/// owner-compute replay (kDegrade); phases are labeled "x-shares" and
+/// "y-partials" in any FaultReport.
+ParallelRunResult parallel_sttsv(simt::Exchanger& exchanger,
                                  const partition::TetraPartition& part,
                                  const partition::VectorDistribution& dist,
                                  const tensor::SymTensor3& a,

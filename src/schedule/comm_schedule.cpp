@@ -129,4 +129,23 @@ void CommSchedule::validate(const partition::TetraPartition& part) const {
   }
 }
 
+std::size_t rounds_with_retries(std::size_t data_rounds,
+                                std::size_t attempts,
+                                std::size_t backoff_base_rounds,
+                                std::size_t backoff_cap_rounds) {
+  // Attempt 0: the full data schedule plus one ACK round. Attempt k >= 1:
+  // backoff wait, at most the full data schedule again (retransmissions
+  // fit in a sub-schedule of the original), one ACK round.
+  std::size_t total = 0;
+  std::size_t backoff = backoff_base_rounds;
+  for (std::size_t k = 0; k < attempts; ++k) {
+    if (k > 0) {
+      total += std::min(backoff, backoff_cap_rounds);
+      if (backoff < backoff_cap_rounds) backoff *= 2;
+    }
+    total += data_rounds + 1;
+  }
+  return total;
+}
+
 }  // namespace sttsv::schedule

@@ -68,4 +68,16 @@ CommSchedule build_schedule(const partition::TetraPartition& part);
 std::size_t pair_weight(const partition::TetraPartition& part,
                         std::size_t p, std::size_t peer);
 
+/// Worst-case round count for one resilient exchange (DESIGN.md §10)
+/// realized over a schedule whose fault-free data phase takes
+/// `data_rounds` König steps: every attempt retransmits at most the full
+/// data schedule and settles in one ACK round, and attempt k >= 1 first
+/// waits the exponential backoff min(cap, base << (k-1)). The measured
+/// ledger rounds (goodput + overhead) of a ReliableExchange run never
+/// exceed this bound for the attempts it actually used.
+std::size_t rounds_with_retries(std::size_t data_rounds,
+                                std::size_t attempts,
+                                std::size_t backoff_base_rounds,
+                                std::size_t backoff_cap_rounds);
+
 }  // namespace sttsv::schedule

@@ -1,0 +1,72 @@
+#include "simt/fault_injector.hpp"
+
+#include <bit>
+
+#include "simt/machine.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::simt {
+
+namespace {
+bool valid_prob(double p) { return p >= 0.0 && p <= 1.0; }
+}  // namespace
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(config), rng_(config.seed) {
+  STTSV_REQUIRE(valid_prob(config_.drop) && valid_prob(config_.corrupt) &&
+                    valid_prob(config_.duplicate) &&
+                    valid_prob(config_.reorder) && valid_prob(config_.stall),
+                "fault probabilities must be in [0, 1]");
+}
+
+void FaultInjector::begin_exchange() {
+  ++exchange_;
+  stall_this_exchange_.clear();
+}
+
+bool FaultInjector::stalled(std::size_t rank) {
+  const auto it = stall_this_exchange_.find(rank);
+  if (it != stall_this_exchange_.end()) return it->second;
+  const bool s = config_.stall > 0.0 && rng_.next_unit() < config_.stall;
+  stall_this_exchange_.emplace(rank, s);
+  return s;
+}
+
+FaultInjector::Action FaultInjector::on_frame(std::size_t from,
+                                              std::size_t to,
+                                              std::vector<double>& data) {
+  if (stalled(from)) {
+    log_.push_back(
+        {exchange_, FaultKind::kStall, from, to, data.size()});
+    return Action::kDrop;
+  }
+  if (config_.drop > 0.0 && rng_.next_unit() < config_.drop) {
+    log_.push_back({exchange_, FaultKind::kDrop, from, to, data.size()});
+    return Action::kDrop;
+  }
+  if (config_.corrupt > 0.0 && !data.empty() &&
+      rng_.next_unit() < config_.corrupt) {
+    const auto word = static_cast<std::size_t>(rng_.next_below(data.size()));
+    const auto bit = static_cast<unsigned>(rng_.next_below(64));
+    const std::uint64_t flipped =
+        std::bit_cast<std::uint64_t>(data[word]) ^ (std::uint64_t{1} << bit);
+    data[word] = std::bit_cast<double>(flipped);
+    log_.push_back({exchange_, FaultKind::kCorrupt, from, to, word});
+  }
+  if (config_.duplicate > 0.0 && rng_.next_unit() < config_.duplicate) {
+    log_.push_back(
+        {exchange_, FaultKind::kDuplicate, from, to, data.size()});
+    return Action::kDuplicate;
+  }
+  return Action::kDeliver;
+}
+
+void FaultInjector::maybe_reorder(std::size_t rank,
+                                  std::vector<Delivery>& inbox) {
+  if (inbox.size() < 2 || config_.reorder <= 0.0) return;
+  if (rng_.next_unit() >= config_.reorder) return;
+  rng_.shuffle(inbox);
+  log_.push_back({exchange_, FaultKind::kReorder, rank, rank, inbox.size()});
+}
+
+}  // namespace sttsv::simt

@@ -1,0 +1,99 @@
+#pragma once
+// Seeded, deterministic network-fault model for the simulated machine
+// (DESIGN.md §10). When installed on a Machine, every wire frame of every
+// exchange passes through the injector, which may
+//
+//  * drop the frame (it is charged to the ledger but never delivered),
+//  * corrupt it (flip one bit of one payload/header word in flight),
+//  * duplicate it (deliver a second copy, charged as overhead),
+//  * stall a rank (straggler model: every frame the rank sends in the
+//    current exchange misses the round and is lost), or
+//  * reorder an inbox (permute delivery order after the deterministic
+//    by-sender sort).
+//
+// All decisions come from one seeded xoshiro stream consumed in the
+// machine's deterministic iteration order, so a (seed, config, traffic)
+// triple always produces the identical fault pattern — the injection log
+// records every event for replay and for FaultReport references.
+//
+// The raw Machine::exchange makes no attempt to hide these faults; the
+// recovery protocol lives one layer up in simt::ReliableExchange.
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace sttsv::simt {
+
+struct Delivery;
+
+/// Per-fault-class probabilities in [0, 1], rolled independently per
+/// frame (drop, corrupt, duplicate), per sending rank per exchange
+/// (stall), and per inbox per exchange (reorder).
+struct FaultConfig {
+  double drop = 0.0;
+  double corrupt = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double stall = 0.0;
+  std::uint64_t seed = 0xFA017ULL;
+};
+
+enum class FaultKind : std::uint8_t {
+  kDrop,
+  kCorrupt,
+  kDuplicate,
+  kReorder,
+  kStall,
+};
+
+/// One injected fault, enough to replay or audit the run. `detail` is
+/// kind-specific: corrupt = flipped word index, reorder = inbox size,
+/// stall/drop/duplicate = frame word count.
+struct FaultEvent {
+  std::uint64_t exchange_index = 0;
+  FaultKind kind = FaultKind::kDrop;
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::size_t detail = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  /// What the wire did to a frame; kDeliver may still have corrupted it
+  /// in place.
+  enum class Action { kDeliver, kDrop, kDuplicate };
+
+  /// Called by Machine::exchange before each exchange's frames flow.
+  void begin_exchange();
+
+  /// Rolls the fate of one frame from -> to; may flip a bit of `data`
+  /// in place (corrupt). Stalled senders lose every frame this exchange.
+  Action on_frame(std::size_t from, std::size_t to,
+                  std::vector<double>& data);
+
+  /// Possibly permutes rank's inbox (called after the by-sender sort).
+  void maybe_reorder(std::size_t rank, std::vector<Delivery>& inbox);
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<FaultEvent>& log() const { return log_; }
+  [[nodiscard]] std::uint64_t exchanges_seen() const { return exchange_; }
+  void clear_log() { log_.clear(); }
+
+ private:
+  [[nodiscard]] bool stalled(std::size_t rank);
+
+  FaultConfig config_;
+  Rng rng_;
+  std::uint64_t exchange_ = 0;
+  // Stall fate of each sending rank, rolled once per exchange on first use.
+  std::unordered_map<std::size_t, bool> stall_this_exchange_;
+  std::vector<FaultEvent> log_;
+};
+
+}  // namespace sttsv::simt

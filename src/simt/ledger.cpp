@@ -17,7 +17,9 @@ CommLedger::CommLedger(std::size_t num_ranks)
     : sent_(num_ranks, 0),
       received_(num_ranks, 0),
       msg_sent_(num_ranks, 0),
-      msg_received_(num_ranks, 0) {
+      msg_received_(num_ranks, 0),
+      overhead_sent_(num_ranks, 0),
+      overhead_received_(num_ranks, 0) {
   STTSV_REQUIRE(num_ranks >= 1, "ledger needs at least one rank");
   STTSV_REQUIRE(num_ranks < (1ULL << 32), "too many ranks for pair keys");
 }
@@ -34,7 +36,19 @@ void CommLedger::record_message(std::size_t from, std::size_t to,
   pair_[pair_key(from, to)] += words;
 }
 
+void CommLedger::record_overhead(std::size_t from, std::size_t to,
+                                 std::size_t words) {
+  STTSV_REQUIRE(from < sent_.size() && to < sent_.size(),
+                "rank out of range");
+  STTSV_REQUIRE(from != to, "self-messages are local copies, not comm");
+  overhead_sent_[from] += words;
+  overhead_received_[to] += words;
+  ++overhead_msgs_;
+}
+
 void CommLedger::add_rounds(std::size_t k) { rounds_ += k; }
+
+void CommLedger::add_overhead_rounds(std::size_t k) { overhead_rounds_ += k; }
 
 void CommLedger::add_modeled_collective_words(std::size_t words_per_rank) {
   modeled_words_ += words_per_rank;
@@ -60,6 +74,16 @@ std::uint64_t CommLedger::messages_received(std::size_t rank) const {
   return msg_received_[rank];
 }
 
+std::uint64_t CommLedger::overhead_words_sent(std::size_t rank) const {
+  STTSV_REQUIRE(rank < overhead_sent_.size(), "rank out of range");
+  return overhead_sent_[rank];
+}
+
+std::uint64_t CommLedger::overhead_words_received(std::size_t rank) const {
+  STTSV_REQUIRE(rank < overhead_received_.size(), "rank out of range");
+  return overhead_received_[rank];
+}
+
 std::uint64_t CommLedger::max_words_sent() const {
   return *std::max_element(sent_.begin(), sent_.end());
 }
@@ -68,8 +92,19 @@ std::uint64_t CommLedger::max_words_received() const {
   return *std::max_element(received_.begin(), received_.end());
 }
 
+std::uint64_t CommLedger::max_overhead_words_sent() const {
+  return *std::max_element(overhead_sent_.begin(), overhead_sent_.end());
+}
+
+std::uint64_t CommLedger::max_overhead_words_received() const {
+  return *std::max_element(overhead_received_.begin(),
+                           overhead_received_.end());
+}
+
 LedgerMaxima CommLedger::maxima() const {
-  return LedgerMaxima{max_words_sent(), max_words_received()};
+  return LedgerMaxima{max_words_sent(), max_words_received(),
+                      max_overhead_words_sent(),
+                      max_overhead_words_received()};
 }
 
 std::uint64_t CommLedger::total_words() const {
@@ -84,6 +119,12 @@ std::uint64_t CommLedger::total_messages() const {
   return total;
 }
 
+std::uint64_t CommLedger::total_overhead_words() const {
+  std::uint64_t total = 0;
+  for (const auto w : overhead_sent_) total += w;
+  return total;
+}
+
 std::uint64_t CommLedger::pair_words(std::size_t from, std::size_t to) const {
   const auto it = pair_.find(pair_key(from, to));
   return it == pair_.end() ? 0 : it->second;
@@ -92,11 +133,23 @@ std::uint64_t CommLedger::pair_words(std::size_t from, std::size_t to) const {
 void CommLedger::verify_conservation() const {
   std::uint64_t s = 0;
   std::uint64_t r = 0;
+  std::uint64_t os = 0;
+  std::uint64_t orx = 0;
   for (std::size_t p = 0; p < sent_.size(); ++p) {
     s += sent_[p];
     r += received_[p];
+    os += overhead_sent_[p];
+    orx += overhead_received_[p];
   }
   STTSV_CHECK(s == r, "ledger conservation violated (sent != received)");
+  STTSV_CHECK(os == orx,
+              "ledger conservation violated (overhead sent != received)");
+}
+
+void CommLedger::debug_skew_sent_for_test(std::size_t rank,
+                                          std::uint64_t words) {
+  STTSV_REQUIRE(rank < sent_.size(), "rank out of range");
+  sent_[rank] += words;
 }
 
 }  // namespace sttsv::simt

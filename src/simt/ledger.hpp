@@ -9,6 +9,18 @@
 //  * modeled collective words: the paper's Section 7.2.2 accounting, where
 //    a bandwidth-optimal All-to-All takes P-1 steps each costing the
 //    maximum per-pair message size (so empty slots still pay).
+//
+// Measured traffic is split into two channels (DESIGN.md §10):
+//
+//  * goodput — unique useful payload words, the quantity Theorem 5.2
+//    bounds. Under the resilient protocol each logical payload is charged
+//    here exactly once (on its first transmission attempt), so goodput is
+//    identical to the fault-free ledger by construction.
+//  * overhead — everything resilience costs on top: protocol framing
+//    (sequence numbers, checksums), ACK/NACK frames, retransmissions,
+//    injected duplicate deliveries, and degraded-mode replays. Overhead
+//    rounds (ACK rounds, retries, backoff) are counted separately from
+//    goodput rounds for the same reason.
 
 #include <cstddef>
 #include <cstdint>
@@ -19,9 +31,13 @@ namespace sttsv::simt {
 
 /// The per-run maxima bounded by the paper's Theorem 5.2: max over ranks
 /// of words sent and of words received (equal for symmetric exchanges).
+/// The overhead maxima cover the resilience channel, which the bound does
+/// not constrain but the resilience benches plot against fault rate.
 struct LedgerMaxima {
   std::uint64_t words_sent = 0;
   std::uint64_t words_received = 0;
+  std::uint64_t overhead_words_sent = 0;
+  std::uint64_t overhead_words_received = 0;
 };
 
 class CommLedger {
@@ -30,9 +46,18 @@ class CommLedger {
 
   void record_message(std::size_t from, std::size_t to, std::size_t words);
 
+  /// Records protocol-overhead words from -> to (framing, ACKs,
+  /// retransmissions, duplicates). Kept out of the goodput counters so
+  /// the Theorem 5.2 check stays phrased on goodput alone.
+  void record_overhead(std::size_t from, std::size_t to, std::size_t words);
+
   /// Adds k communication rounds (steps in the paper's sense: in one round
   /// a rank sends at most one message and receives at most one).
   void add_rounds(std::size_t k);
+
+  /// Adds k rounds spent purely on resilience (ACK rounds, retransmission
+  /// rounds, backoff waits) rather than on goodput delivery.
+  void add_overhead_rounds(std::size_t k);
 
   /// Adds modeled collective cost: per-rank words the paper's model charges
   /// for a collective phase (e.g. (P-1) * max message size for All-to-All).
@@ -44,39 +69,60 @@ class CommLedger {
   [[nodiscard]] std::uint64_t words_received(std::size_t rank) const;
   [[nodiscard]] std::uint64_t messages_sent(std::size_t rank) const;
   [[nodiscard]] std::uint64_t messages_received(std::size_t rank) const;
+  [[nodiscard]] std::uint64_t overhead_words_sent(std::size_t rank) const;
+  [[nodiscard]] std::uint64_t overhead_words_received(std::size_t rank) const;
 
   /// max_p (words sent by p + nothing else): the paper's "number of words
   /// sent or received by any processor" uses max over ranks of send (==
   /// receive for our symmetric exchanges); expose both.
   [[nodiscard]] std::uint64_t max_words_sent() const;
   [[nodiscard]] std::uint64_t max_words_received() const;
+  [[nodiscard]] std::uint64_t max_overhead_words_sent() const;
+  [[nodiscard]] std::uint64_t max_overhead_words_received() const;
 
-  /// Both maxima in one reduction — the pair every run result reports.
+  /// All four maxima in one reduction — the set every run result reports.
   [[nodiscard]] LedgerMaxima maxima() const;
   [[nodiscard]] std::uint64_t total_words() const;
   [[nodiscard]] std::uint64_t total_messages() const;
+  [[nodiscard]] std::uint64_t total_overhead_words() const;
+  [[nodiscard]] std::uint64_t overhead_messages() const {
+    return overhead_msgs_;
+  }
   [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+  [[nodiscard]] std::uint64_t overhead_rounds() const {
+    return overhead_rounds_;
+  }
   [[nodiscard]] std::uint64_t modeled_collective_words() const {
     return modeled_words_;
   }
 
-  /// Words sent from -> to so far (0 if never communicated).
+  /// Goodput words sent from -> to so far (0 if never communicated).
   [[nodiscard]] std::uint64_t pair_words(std::size_t from,
                                          std::size_t to) const;
 
-  /// Distinct ordered pairs that exchanged at least one word.
+  /// Distinct ordered pairs that exchanged at least one goodput word.
   [[nodiscard]] std::size_t active_pairs() const { return pair_.size(); }
 
-  /// Conservation check: Σ sent == Σ received (throws on violation).
+  /// Conservation check on both channels: Σ sent == Σ received for
+  /// goodput and for overhead (throws InternalError on violation).
   void verify_conservation() const;
+
+  /// Test-only mutation hook: skews rank's sent-words counter without a
+  /// matching receive so failure-injection tests can prove that
+  /// verify_conservation actually fires. Never call outside tests.
+  void debug_skew_sent_for_test(std::size_t rank, std::uint64_t words);
 
  private:
   std::vector<std::uint64_t> sent_;
   std::vector<std::uint64_t> received_;
   std::vector<std::uint64_t> msg_sent_;
   std::vector<std::uint64_t> msg_received_;
+  std::vector<std::uint64_t> overhead_sent_;
+  std::vector<std::uint64_t> overhead_received_;
   std::unordered_map<std::uint64_t, std::uint64_t> pair_;
+  std::uint64_t overhead_msgs_ = 0;
   std::uint64_t rounds_ = 0;
+  std::uint64_t overhead_rounds_ = 0;
   std::uint64_t modeled_words_ = 0;
 };
 

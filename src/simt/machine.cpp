@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "simt/fault_injector.hpp"
 #include "simt/parallel_for.hpp"
 #include "support/check.hpp"
 
@@ -15,10 +16,26 @@ std::vector<std::vector<Delivery>> Machine::exchange(
     std::vector<std::vector<Envelope>> outboxes, Transport transport) {
   STTSV_REQUIRE(outboxes.size() == P_, "one outbox per rank required");
 
+  // Validate every envelope before touching the ledger or moving any
+  // payload: a malformed outbox must fail with the machine state intact.
+  for (std::size_t from = 0; from < P_; ++from) {
+    for (const Envelope& env : outboxes[from]) {
+      STTSV_REQUIRE(env.to < P_, "envelope destination out of range");
+      STTSV_REQUIRE(env.to != from,
+                    "self-sends must be handled as local copies");
+      STTSV_REQUIRE(env.overhead_words <= env.data.size(),
+                    "envelope overhead exceeds payload size");
+    }
+  }
+
+  if (injector_ != nullptr) injector_->begin_exchange();
+
   std::vector<std::vector<Delivery>> inboxes(P_);
   std::vector<std::size_t> sends_per_rank(P_, 0);
   std::vector<std::size_t> recvs_per_rank(P_, 0);
   std::size_t max_pair_words = 0;
+  std::size_t total_goodput = 0;
+  std::size_t total_overhead = 0;
 
   for (std::size_t from = 0; from < P_; ++from) {
     // Deterministic delivery order: by destination, then insertion order.
@@ -27,13 +44,31 @@ std::vector<std::vector<Delivery>> Machine::exchange(
                        return a.to < b.to;
                      });
     for (auto& env : outboxes[from]) {
-      STTSV_REQUIRE(env.to < P_, "envelope destination out of range");
-      STTSV_REQUIRE(env.to != from,
-                    "self-sends must be handled as local copies");
-      ledger_.record_message(from, env.to, env.data.size());
+      const std::size_t goodput = env.data.size() - env.overhead_words;
+      if (goodput > 0) ledger_.record_message(from, env.to, goodput);
+      if (env.overhead_words > 0) {
+        ledger_.record_overhead(from, env.to, env.overhead_words);
+      }
+      total_goodput += goodput;
+      total_overhead += env.overhead_words;
       max_pair_words = std::max(max_pair_words, env.data.size());
+      // Rounds reflect the intended schedule: a dropped frame still held
+      // its slot, an injected duplicate rides along without one.
       ++sends_per_rank[from];
       ++recvs_per_rank[env.to];
+
+      if (injector_ != nullptr) {
+        switch (injector_->on_frame(from, env.to, env.data)) {
+          case FaultInjector::Action::kDrop:
+            continue;  // charged, never delivered
+          case FaultInjector::Action::kDuplicate:
+            ledger_.record_overhead(from, env.to, env.data.size());
+            inboxes[env.to].push_back(Delivery{from, env.data});
+            break;
+          case FaultInjector::Action::kDeliver:
+            break;
+        }
+      }
       inboxes[env.to].push_back(Delivery{from, std::move(env.data)});
     }
   }
@@ -43,7 +78,15 @@ std::vector<std::vector<Delivery>> Machine::exchange(
                        return a.from < b.from;
                      });
   }
+  if (injector_ != nullptr) {
+    for (std::size_t p = 0; p < P_; ++p) {
+      injector_->maybe_reorder(p, inboxes[p]);
+    }
+  }
 
+  // An exchange that moves no goodput at all is pure protocol traffic
+  // (ACK rounds, retransmissions): its steps are resilience overhead.
+  const bool overhead_only = total_goodput == 0 && total_overhead > 0;
   switch (transport) {
     case Transport::kPointToPoint: {
       // König: a bipartite multigraph with max degree Δ is Δ-edge-
@@ -53,14 +96,22 @@ std::vector<std::vector<Delivery>> Machine::exchange(
       for (std::size_t p = 0; p < P_; ++p) {
         delta = std::max({delta, sends_per_rank[p], recvs_per_rank[p]});
       }
-      ledger_.add_rounds(delta);
+      if (overhead_only) {
+        ledger_.add_overhead_rounds(delta);
+      } else {
+        ledger_.add_rounds(delta);
+      }
       break;
     }
     case Transport::kAllToAll: {
       // Bandwidth-optimal All-to-All: P-1 steps, every step charged the
       // largest per-pair buffer (empty slots still occupy the schedule).
       if (P_ > 1) {
-        ledger_.add_rounds(P_ - 1);
+        if (overhead_only) {
+          ledger_.add_overhead_rounds(P_ - 1);
+        } else {
+          ledger_.add_rounds(P_ - 1);
+        }
         ledger_.add_modeled_collective_words((P_ - 1) * max_pair_words);
       }
       break;

@@ -8,6 +8,12 @@
 // phases loop over ranks, communication phases are machine-wide exchanges.
 // The semantics (who knows what, when) are identical to the per-rank MPI
 // program, and the ledger counts exactly the words the α-β-γ model counts.
+//
+// An optional FaultInjector (DESIGN.md §10) sits on the wire: frames may
+// be dropped, corrupted, duplicated, delayed by a stalled sender, or
+// reordered within an inbox. The ledger charges traffic at send time, so
+// its conservation invariant holds under every fault pattern; recovering
+// the delivered data is the job of simt::ReliableExchange one layer up.
 
 #include <cstddef>
 #include <functional>
@@ -17,14 +23,21 @@
 
 namespace sttsv::simt {
 
-/// One outgoing message: destination rank plus payload words.
+class FaultInjector;
+
+/// One outgoing message: destination rank plus payload words. The first
+/// `overhead_words` words are protocol framing (sequence numbers,
+/// checksums, ACK entries) and are charged to the ledger's overhead
+/// channel; the rest are goodput. Raw algorithm traffic leaves it 0.
 struct Envelope {
   std::size_t to = 0;
   std::vector<double> data;
+  std::size_t overhead_words = 0;
 };
 
 /// One delivered message: source rank plus payload words. Deliveries are
-/// handed to the receiver sorted by sender, so execution is deterministic.
+/// handed to the receiver sorted by sender, so execution is deterministic
+/// (a fault injector may reorder them afterwards).
 struct Delivery {
   std::size_t from = 0;
   std::vector<double> data;
@@ -50,8 +63,13 @@ class Machine {
   [[nodiscard]] std::size_t num_ranks() const { return P_; }
 
   /// Executes one machine-wide exchange: outboxes[p] holds rank p's
-  /// outgoing messages. Returns inboxes[p]. Ledger records every word;
-  /// rounds/modeled cost depend on the transport.
+  /// outgoing messages. Returns inboxes[p]. Every outbox is validated
+  /// up front — destinations in range, no self-sends, overhead_words
+  /// within the payload — and a PreconditionError leaves the ledger and
+  /// all payloads untouched. Ledger records every word (split into
+  /// goodput and overhead channels); rounds/modeled cost depend on the
+  /// transport and are charged to the overhead channel when the exchange
+  /// carries no goodput at all (pure protocol traffic).
   std::vector<std::vector<Delivery>> exchange(
       std::vector<std::vector<Envelope>> outboxes, Transport transport);
 
@@ -65,12 +83,18 @@ class Machine {
   [[nodiscard]] const CommLedger& ledger() const { return ledger_; }
   CommLedger& ledger() { return ledger_; }
 
+  /// Installs (or with nullptr removes) a wire fault injector. Non-owning;
+  /// the injector must outlive its installation.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
+
   /// Resets accounting (e.g. to ignore a warm-up distribution phase).
   void reset_ledger();
 
  private:
   std::size_t P_;
   CommLedger ledger_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace sttsv::simt

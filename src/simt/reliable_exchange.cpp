@@ -1,0 +1,429 @@
+#include "simt/reliable_exchange.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "simt/fault_injector.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace sttsv::simt {
+
+namespace {
+
+// Wire format. All header fields are uint64 values bit-cast into the
+// double payload stream; no arithmetic ever touches them.
+//
+// Data frame:  [magic, seq, payload_len, payload_cksum, header_cksum,
+//               payload...]
+// ACK frame:   [magic, entry_count, cksum, entries...] where an entry is
+//              (seq << 1) | ok_bit; ok = accepted, !ok = NACK (payload
+//              checksum mismatch, retransmit immediately).
+constexpr std::uint64_t kMagicData = 0x5354'5356'4441'5441ULL;  // STSVDATA
+constexpr std::uint64_t kMagicAck = 0x5354'5356'4143'4b21ULL;   // STSVACK!
+constexpr std::size_t kDataHeaderWords = 5;
+constexpr std::size_t kAckHeaderWords = 3;
+
+double enc(std::uint64_t v) { return std::bit_cast<double>(v); }
+std::uint64_t dec(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t finalize(std::uint64_t h) { return splitmix64(h); }
+
+std::uint64_t payload_checksum(const double* words, std::size_t n) {
+  std::uint64_t h = 0x600DC0DEULL;
+  for (std::size_t i = 0; i < n; ++i) h = mix(h, dec(words[i]));
+  return finalize(h);
+}
+
+std::uint64_t pair_id(std::size_t from, std::size_t to) {
+  return (static_cast<std::uint64_t>(from) << 32) |
+         static_cast<std::uint64_t>(to);
+}
+
+std::uint64_t data_header_checksum(std::uint64_t seq, std::uint64_t len,
+                                   std::uint64_t payload_sum,
+                                   std::size_t from, std::size_t to) {
+  std::uint64_t h = kMagicData;
+  h = mix(h, seq);
+  h = mix(h, len);
+  h = mix(h, payload_sum);
+  h = mix(h, from);
+  h = mix(h, to);
+  return finalize(h);
+}
+
+struct PendingFrame {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::uint64_t seq = 0;
+  std::vector<double> payload;
+  bool acked = false;
+  std::size_t attempts = 0;
+};
+
+std::vector<double> encode_data(const PendingFrame& f) {
+  const std::uint64_t psum =
+      payload_checksum(f.payload.data(), f.payload.size());
+  std::vector<double> wire;
+  wire.reserve(kDataHeaderWords + f.payload.size());
+  wire.push_back(enc(kMagicData));
+  wire.push_back(enc(f.seq));
+  wire.push_back(enc(f.payload.size()));
+  wire.push_back(enc(psum));
+  wire.push_back(
+      enc(data_header_checksum(f.seq, f.payload.size(), psum, f.from, f.to)));
+  wire.insert(wire.end(), f.payload.begin(), f.payload.end());
+  return wire;
+}
+
+struct DecodedData {
+  std::uint64_t seq = 0;
+  bool payload_ok = false;
+  std::vector<double> payload;
+};
+
+/// False => frame unparseable (header damaged): no ACK/NACK possible, the
+/// sender recovers it via retry on the missing ACK.
+bool decode_data(const Delivery& d, std::size_t to, DecodedData& out) {
+  if (d.data.size() < kDataHeaderWords) return false;
+  if (dec(d.data[0]) != kMagicData) return false;
+  const std::uint64_t seq = dec(d.data[1]);
+  const std::uint64_t len = dec(d.data[2]);
+  const std::uint64_t psum = dec(d.data[3]);
+  if (dec(d.data[4]) != data_header_checksum(seq, len, psum, d.from, to)) {
+    return false;
+  }
+  if (len != d.data.size() - kDataHeaderWords) return false;
+  out.seq = seq;
+  out.payload_ok =
+      payload_checksum(d.data.data() + kDataHeaderWords, len) == psum;
+  if (out.payload_ok) {
+    out.payload.assign(d.data.begin() + kDataHeaderWords, d.data.end());
+  }
+  return true;
+}
+
+struct AckEntry {
+  std::uint64_t seq = 0;
+  bool ok = false;
+};
+
+std::vector<double> encode_ack(std::size_t from, std::size_t to,
+                               const std::vector<AckEntry>& entries) {
+  std::uint64_t h = kMagicAck;
+  h = mix(h, entries.size());
+  h = mix(h, from);
+  h = mix(h, to);
+  std::vector<double> wire;
+  wire.reserve(kAckHeaderWords + entries.size());
+  wire.resize(kAckHeaderWords);
+  for (const AckEntry& e : entries) {
+    const std::uint64_t w = (e.seq << 1) | (e.ok ? 1ULL : 0ULL);
+    h = mix(h, w);
+    wire.push_back(enc(w));
+  }
+  wire[0] = enc(kMagicAck);
+  wire[1] = enc(entries.size());
+  wire[2] = enc(finalize(h));
+  return wire;
+}
+
+bool decode_ack(const Delivery& d, std::size_t to,
+                std::vector<AckEntry>& out) {
+  if (d.data.size() < kAckHeaderWords) return false;
+  if (dec(d.data[0]) != kMagicAck) return false;
+  const std::uint64_t count = dec(d.data[1]);
+  if (count != d.data.size() - kAckHeaderWords) return false;
+  std::uint64_t h = kMagicAck;
+  h = mix(h, count);
+  h = mix(h, d.from);
+  h = mix(h, to);
+  for (std::size_t i = 0; i < count; ++i) {
+    h = mix(h, dec(d.data[kAckHeaderWords + i]));
+  }
+  if (finalize(h) != dec(d.data[2])) return false;
+  out.clear();
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t w = dec(d.data[kAckHeaderWords + i]);
+    out.push_back(AckEntry{w >> 1, (w & 1ULL) != 0});
+  }
+  return true;
+}
+
+std::string describe(const FaultReport& report) {
+  std::ostringstream os;
+  os << "resilient exchange failed: " << report.undelivered.size()
+     << " frame(s) undelivered after " << report.attempts_used
+     << " attempt(s) in phase '" << report.phase << "' (exchange #"
+     << report.exchange_index << ")";
+  return os.str();
+}
+
+}  // namespace
+
+FaultError::FaultError(FaultReport report)
+    : std::runtime_error(describe(report)), report_(std::move(report)) {}
+
+ReliableExchange::ReliableExchange(Machine& machine, RetryPolicy retry,
+                                   RecoveryPolicy recovery)
+    : Exchanger(machine), retry_(retry), recovery_(recovery) {
+  STTSV_REQUIRE(retry_.max_attempts >= 1,
+                "retry policy needs at least one attempt");
+}
+
+std::vector<std::vector<Delivery>> ReliableExchange::exchange(
+    std::vector<std::vector<Envelope>> outboxes, Transport transport) {
+  const std::size_t P = machine_.num_ranks();
+  STTSV_REQUIRE(outboxes.size() == P, "one outbox per rank required");
+  ++exchange_counter_;
+  ++stats_.exchanges;
+
+  FaultInjector* injector = machine_.fault_injector();
+  const std::size_t log_begin =
+      injector != nullptr ? injector->log().size() : 0;
+
+  // Frame the outboxes in the raw machine's deterministic order (stable
+  // by destination) so per-pair sequence numbers reproduce the fault-free
+  // delivery order exactly.
+  std::vector<PendingFrame> frames;
+  for (std::size_t from = 0; from < P; ++from) {
+    for (const Envelope& env : outboxes[from]) {
+      STTSV_REQUIRE(env.to < P, "envelope destination out of range");
+      STTSV_REQUIRE(env.to != from,
+                    "self-sends must be handled as local copies");
+      STTSV_REQUIRE(env.overhead_words == 0,
+                    "reliable exchange frames raw payloads only");
+    }
+    std::stable_sort(outboxes[from].begin(), outboxes[from].end(),
+                     [](const Envelope& a, const Envelope& b) {
+                       return a.to < b.to;
+                     });
+    for (Envelope& env : outboxes[from]) {
+      PendingFrame f;
+      f.from = from;
+      f.to = env.to;
+      f.seq = next_seq_[pair_id(from, env.to)]++;
+      f.payload = std::move(env.data);
+      frames.push_back(std::move(f));
+    }
+  }
+  stats_.data_frames += frames.size();
+
+  // (pair, seq) -> frame index, for settling ACKs.
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint64_t, std::size_t>>
+      frame_index;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    frame_index[pair_id(frames[i].from, frames[i].to)][frames[i].seq] = i;
+  }
+
+  struct Accepted {
+    std::size_t from = 0;
+    std::uint64_t seq = 0;
+    std::vector<double> payload;
+  };
+  std::vector<std::vector<Accepted>> accepted(P);
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
+      accepted_seqs;
+
+  auto accept_frame = [&](std::size_t receiver, std::size_t sender,
+                          std::uint64_t seq,
+                          std::vector<double>&& payload) -> bool {
+    auto& seen = accepted_seqs[pair_id(sender, receiver)];
+    if (seen.contains(seq)) {
+      ++stats_.duplicate_frames_ignored;
+      return false;
+    }
+    seen.insert(seq);
+    accepted[receiver].push_back(
+        Accepted{sender, seq, std::move(payload)});
+    return true;
+  };
+
+  // One protocol attempt: transmit the given frames, then run an ACK/NACK
+  // round. Both wire trips pass through the fault injector.
+  auto run_attempt = [&](const std::vector<std::size_t>& send_idx,
+                         bool first, Transport t) {
+    std::vector<std::vector<Envelope>> wire_out(P);
+    for (const std::size_t idx : send_idx) {
+      PendingFrame& f = frames[idx];
+      ++f.attempts;
+      if (!first) ++stats_.retransmitted_frames;
+      Envelope env;
+      env.to = f.to;
+      env.data = encode_data(f);
+      // The payload is goodput exactly once, on its first transmission;
+      // headers always — and whole retransmissions — are overhead.
+      env.overhead_words = first ? kDataHeaderWords : env.data.size();
+      wire_out[f.from].push_back(std::move(env));
+    }
+    auto wire_in = machine_.exchange(std::move(wire_out), t);
+
+    std::vector<std::map<std::size_t, std::vector<AckEntry>>> acks(P);
+    for (std::size_t r = 0; r < P; ++r) {
+      for (Delivery& d : wire_in[r]) {
+        DecodedData dd;
+        if (!decode_data(d, r, dd)) {
+          ++stats_.corrupt_frames_detected;
+          continue;  // header damaged: silence, the retry recovers it
+        }
+        if (!dd.payload_ok) {
+          ++stats_.corrupt_frames_detected;
+          ++stats_.nack_entries;
+          acks[r][d.from].push_back(AckEntry{dd.seq, false});
+          continue;
+        }
+        accept_frame(r, d.from, dd.seq, std::move(dd.payload));
+        // Accept and duplicate alike are (re-)ACKed, so a lost ACK heals.
+        acks[r][d.from].push_back(AckEntry{dd.seq, true});
+      }
+    }
+
+    bool any_acks = false;
+    for (const auto& per_rank : acks) any_acks |= !per_rank.empty();
+    if (!any_acks) return;
+
+    std::vector<std::vector<Envelope>> ack_out(P);
+    for (std::size_t r = 0; r < P; ++r) {
+      for (const auto& [sender, entries] : acks[r]) {
+        Envelope env;
+        env.to = sender;
+        env.data = encode_ack(r, sender, entries);
+        env.overhead_words = env.data.size();
+        ack_out[r].push_back(std::move(env));
+        ++stats_.ack_frames;
+      }
+    }
+    auto ack_in = machine_.exchange(std::move(ack_out),
+                                    Transport::kPointToPoint);
+    for (std::size_t s = 0; s < P; ++s) {
+      for (const Delivery& d : ack_in[s]) {
+        std::vector<AckEntry> entries;
+        if (!decode_ack(d, s, entries)) {
+          ++stats_.corrupt_frames_detected;
+          continue;
+        }
+        const auto pit = frame_index.find(pair_id(s, d.from));
+        if (pit == frame_index.end()) continue;
+        for (const AckEntry& e : entries) {
+          if (!e.ok) continue;  // NACK: stays pending, retried next loop
+          const auto fit = pit->second.find(e.seq);
+          if (fit != pit->second.end()) frames[fit->second].acked = true;
+        }
+      }
+    }
+  };
+
+  std::size_t attempt = 0;
+  while (attempt < retry_.max_attempts) {
+    std::vector<std::size_t> unacked;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      if (!frames[i].acked) unacked.push_back(i);
+    }
+    if (unacked.empty()) break;
+    if (attempt > 0) {
+      // Exponential backoff: base << (attempt-1), saturating at the cap.
+      std::size_t backoff = retry_.backoff_base_rounds;
+      for (std::size_t k = 1; k < attempt && backoff < retry_.backoff_cap_rounds;
+           ++k) {
+        backoff *= 2;
+      }
+      backoff = std::min(backoff, retry_.backoff_cap_rounds);
+      machine_.ledger().add_overhead_rounds(backoff);
+      stats_.backoff_rounds += backoff;
+    }
+    run_attempt(unacked, attempt == 0,
+                attempt == 0 ? transport : Transport::kPointToPoint);
+    ++attempt;
+  }
+
+  std::vector<std::size_t> undelivered;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (!frames[i].acked) undelivered.push_back(i);
+  }
+  if (!undelivered.empty()) {
+    FaultReport report;
+    report.phase = phase_;
+    report.exchange_index = exchange_counter_;
+    report.attempts_used = attempt;
+    for (const std::size_t idx : undelivered) {
+      const PendingFrame& f = frames[idx];
+      report.undelivered.push_back(
+          FrameFault{f.from, f.to, f.seq, f.payload.size(), f.attempts});
+      report.affected_ranks.push_back(f.from);
+      report.affected_ranks.push_back(f.to);
+    }
+    std::sort(report.affected_ranks.begin(), report.affected_ranks.end());
+    report.affected_ranks.erase(std::unique(report.affected_ranks.begin(),
+                                            report.affected_ranks.end()),
+                                report.affected_ranks.end());
+    report.injection_log_begin = log_begin;
+    report.injection_log_end =
+        injector != nullptr ? injector->log().size() : 0;
+    if (recovery_ == RecoveryPolicy::kFailFast) {
+      throw FaultError(std::move(report));
+    }
+
+    // kDegrade: the sender still owns every undelivered payload (the
+    // owner-compute invariant — tensor blocks never travel, so each
+    // contribution is deterministically replayable). Replay over a clean
+    // channel with the injector bypassed, charged entirely as overhead.
+    machine_.set_fault_injector(nullptr);
+    std::vector<std::vector<Envelope>> replay_out(P);
+    for (const std::size_t idx : undelivered) {
+      const PendingFrame& f = frames[idx];
+      Envelope env;
+      env.to = f.to;
+      env.data = encode_data(f);
+      env.overhead_words = env.data.size();
+      replay_out[f.from].push_back(std::move(env));
+    }
+    auto replay_in =
+        machine_.exchange(std::move(replay_out), Transport::kPointToPoint);
+    machine_.set_fault_injector(injector);
+    for (std::size_t r = 0; r < P; ++r) {
+      for (Delivery& d : replay_in[r]) {
+        DecodedData dd;
+        STTSV_CHECK(decode_data(d, r, dd) && dd.payload_ok,
+                    "degraded replay corrupted on a clean channel");
+        // A frame whose ACK (not data) was lost is already accepted;
+        // the idempotent accept path absorbs the replay copy.
+        accept_frame(r, d.from, dd.seq, std::move(dd.payload));
+      }
+    }
+    stats_.degraded_deliveries += undelivered.size();
+    report.degraded = true;
+    reports_.push_back(std::move(report));
+  }
+
+  // Assemble inboxes in the fault-free machine's order: by sender, then
+  // by sequence number (== the sender's post-sort envelope order).
+  std::vector<std::vector<Delivery>> inboxes(P);
+  std::size_t delivered = 0;
+  for (std::size_t r = 0; r < P; ++r) {
+    std::sort(accepted[r].begin(), accepted[r].end(),
+              [](const Accepted& a, const Accepted& b) {
+                return a.from != b.from ? a.from < b.from : a.seq < b.seq;
+              });
+    inboxes[r].reserve(accepted[r].size());
+    for (Accepted& a : accepted[r]) {
+      inboxes[r].push_back(Delivery{a.from, std::move(a.payload)});
+      ++delivered;
+    }
+  }
+  STTSV_CHECK(delivered == frames.size(),
+              "reliable exchange delivered frame count mismatch");
+  return inboxes;
+}
+
+}  // namespace sttsv::simt

@@ -1,0 +1,170 @@
+#pragma once
+// Resilient exchange protocol over the simulated machine (DESIGN.md §10).
+//
+// The raw Machine::exchange delivers whatever the (possibly faulty) wire
+// produced. ReliableExchange layers a protocol on top that makes the
+// delivered inboxes bitwise identical to a fault-free run:
+//
+//  * every data frame carries a header — magic word, per-ordered-pair
+//    sequence number, payload length, payload checksum, header checksum;
+//  * receivers validate frames, accept each sequence number at most once
+//    (redelivery is idempotent), and answer with ACK/NACK frames that are
+//    themselves checksummed (and themselves subject to wire faults);
+//  * senders retransmit unacknowledged frames with exponential backoff,
+//    up to a bounded number of attempts.
+//
+// Ledger accounting keeps the paper's Theorem 5.2 check meaningful under
+// faults: each frame's payload is charged to the goodput channel exactly
+// once (on the first attempt), while headers, ACKs, retransmissions and
+// backoff rounds go to the overhead channel. Goodput therefore equals the
+// fault-free ledger by construction; overhead is the measured price of
+// resilience.
+//
+// When a frame exhausts the retry budget the policy decides: kFailFast
+// throws FaultError carrying a structured FaultReport (never a hang or a
+// silent wrong answer); kDegrade falls back on the owner-compute
+// invariant — the sender still holds the payload (tensor blocks are never
+// communicated, so every contribution is deterministically recomputable)
+// and replays it over a clean out-of-band channel, charged as overhead.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simt/machine.hpp"
+
+namespace sttsv::simt {
+
+/// Seam between the Algorithm-5 drivers and the wire: callers hand over
+/// outboxes exactly as they would to Machine::exchange and receive the
+/// logically delivered inboxes. DirectExchange forwards verbatim;
+/// ReliableExchange runs the recovery protocol.
+class Exchanger {
+ public:
+  explicit Exchanger(Machine& machine) : machine_(machine) {}
+  virtual ~Exchanger() = default;
+  Exchanger(const Exchanger&) = delete;
+  Exchanger& operator=(const Exchanger&) = delete;
+
+  virtual std::vector<std::vector<Delivery>> exchange(
+      std::vector<std::vector<Envelope>> outboxes, Transport transport) = 0;
+
+  /// Label recorded in FaultReports for exchanges that follow; lets the
+  /// driver name its phases ("x-shares", "y-partials"). Default: ignored.
+  virtual void set_phase(const char* /*phase*/) {}
+
+  [[nodiscard]] Machine& machine() const { return machine_; }
+
+ protected:
+  Machine& machine_;
+};
+
+/// The identity protocol: raw machine semantics, zero overhead words.
+class DirectExchange final : public Exchanger {
+ public:
+  using Exchanger::Exchanger;
+  std::vector<std::vector<Delivery>> exchange(
+      std::vector<std::vector<Envelope>> outboxes,
+      Transport transport) override {
+    return machine_.exchange(std::move(outboxes), transport);
+  }
+};
+
+/// Bounded retry with exponential backoff: attempt k >= 1 waits
+/// min(backoff_cap_rounds, backoff_base_rounds << (k-1)) rounds before
+/// retransmitting (charged as overhead rounds).
+struct RetryPolicy {
+  std::size_t max_attempts = 8;
+  std::size_t backoff_base_rounds = 1;
+  std::size_t backoff_cap_rounds = 64;
+};
+
+enum class RecoveryPolicy {
+  kFailFast,  // throw FaultError once the retry budget is exhausted
+  kDegrade,   // owner-compute replay over a clean channel, report attached
+};
+
+/// One frame that exhausted the retry budget.
+struct FrameFault {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::uint64_t seq = 0;
+  std::size_t payload_words = 0;
+  std::size_t attempts = 0;
+};
+
+/// Structured account of a failed (or degraded) logical exchange: which
+/// ranks, which phase, which protocol round, and where in the installed
+/// FaultInjector's log the injected faults for this exchange live.
+struct FaultReport {
+  std::string phase;
+  std::uint64_t exchange_index = 0;  // ordinal within this ReliableExchange
+  std::size_t attempts_used = 0;
+  bool degraded = false;
+  std::vector<FrameFault> undelivered;
+  std::vector<std::size_t> affected_ranks;  // sorted unique senders+receivers
+  std::size_t injection_log_begin = 0;  // [begin, end) into injector log,
+  std::size_t injection_log_end = 0;    // both 0 when no injector installed
+};
+
+class FaultError : public std::runtime_error {
+ public:
+  explicit FaultError(FaultReport report);
+  [[nodiscard]] const FaultReport& report() const { return report_; }
+
+ private:
+  FaultReport report_;
+};
+
+class ReliableExchange final : public Exchanger {
+ public:
+  struct Stats {
+    std::uint64_t exchanges = 0;
+    std::uint64_t data_frames = 0;
+    std::uint64_t retransmitted_frames = 0;
+    std::uint64_t ack_frames = 0;
+    std::uint64_t nack_entries = 0;
+    std::uint64_t corrupt_frames_detected = 0;
+    std::uint64_t duplicate_frames_ignored = 0;
+    std::uint64_t degraded_deliveries = 0;
+    std::uint64_t backoff_rounds = 0;
+  };
+
+  explicit ReliableExchange(Machine& machine, RetryPolicy retry = {},
+                            RecoveryPolicy recovery = RecoveryPolicy::kFailFast);
+
+  /// Runs the protocol until every frame is delivered exactly once, then
+  /// returns inboxes bitwise identical to a fault-free Machine::exchange
+  /// of the same outboxes. Throws FaultError (kFailFast) or degrades
+  /// (kDegrade, see reports()) when the retry budget runs out.
+  std::vector<std::vector<Delivery>> exchange(
+      std::vector<std::vector<Envelope>> outboxes,
+      Transport transport) override;
+
+  void set_phase(const char* phase) override { phase_ = phase; }
+
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
+  [[nodiscard]] RecoveryPolicy recovery_policy() const { return recovery_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// One report per degraded logical exchange (kDegrade only; kFailFast
+  /// reports travel inside the thrown FaultError).
+  [[nodiscard]] const std::vector<FaultReport>& reports() const {
+    return reports_;
+  }
+
+ private:
+  RetryPolicy retry_;
+  RecoveryPolicy recovery_;
+  std::string phase_ = "unlabeled";
+  std::uint64_t exchange_counter_ = 0;
+  // Next sequence number per ordered rank pair, monotone over the session.
+  std::unordered_map<std::uint64_t, std::uint64_t> next_seq_;
+  Stats stats_;
+  std::vector<FaultReport> reports_;
+};
+
+}  // namespace sttsv::simt

@@ -11,6 +11,7 @@
 #include "partition/tetra_partition.hpp"
 #include "schedule/comm_schedule.hpp"
 #include "simt/ledger.hpp"
+#include "simt/machine.hpp"
 #include "steiner/constructions.hpp"
 #include "steiner/steiner.hpp"
 #include "support/check.hpp"
@@ -62,9 +63,55 @@ TEST(FailureInjection, LedgerConservationCatchesManualImbalance) {
   simt::CommLedger ledger(3);
   ledger.record_message(0, 1, 5);
   ledger.verify_conservation();  // records keep balance by construction
-  // The only way to break conservation is a buggy ledger user; simulate
-  // by checking the arithmetic directly.
   EXPECT_EQ(ledger.words_sent(0), ledger.words_received(1));
+  // Skew one rank's sent counter without a matching receive — the
+  // validator must actually fire, not just hold by construction.
+  ledger.debug_skew_sent_for_test(0, 3);
+  EXPECT_THROW(ledger.verify_conservation(), InternalError);
+}
+
+TEST(FailureInjection, ExchangeRejectsDestinationOutOfRange) {
+  simt::Machine machine(3);
+  std::vector<std::vector<simt::Envelope>> outboxes(3);
+  // A valid envelope precedes the bad one: validation must still leave
+  // the ledger completely untouched (strong exception guarantee).
+  outboxes[0].push_back({1, {1.0, 2.0}, 0});
+  outboxes[2].push_back({3, {4.0}, 0});  // rank 3 does not exist
+  EXPECT_THROW(
+      machine.exchange(std::move(outboxes), simt::Transport::kPointToPoint),
+      PreconditionError);
+  EXPECT_EQ(machine.ledger().total_words(), 0u);
+  EXPECT_EQ(machine.ledger().total_messages(), 0u);
+  EXPECT_EQ(machine.ledger().rounds(), 0u);
+}
+
+TEST(FailureInjection, ExchangeRejectsSelfSend) {
+  simt::Machine machine(2);
+  std::vector<std::vector<simt::Envelope>> outboxes(2);
+  outboxes[1].push_back({1, {1.0}, 0});
+  EXPECT_THROW(
+      machine.exchange(std::move(outboxes), simt::Transport::kAllToAll),
+      PreconditionError);
+  EXPECT_EQ(machine.ledger().total_words(), 0u);
+}
+
+TEST(FailureInjection, ExchangeRejectsOverheadExceedingPayload) {
+  simt::Machine machine(2);
+  std::vector<std::vector<simt::Envelope>> outboxes(2);
+  outboxes[0].push_back({1, {1.0, 2.0}, 3});  // 3 overhead words of 2 total
+  EXPECT_THROW(
+      machine.exchange(std::move(outboxes), simt::Transport::kPointToPoint),
+      PreconditionError);
+  EXPECT_EQ(machine.ledger().total_words(), 0u);
+  EXPECT_EQ(machine.ledger().total_overhead_words(), 0u);
+}
+
+TEST(FailureInjection, ExchangeRejectsWrongOutboxCount) {
+  simt::Machine machine(3);
+  std::vector<std::vector<simt::Envelope>> outboxes(2);  // 2 != 3 ranks
+  EXPECT_THROW(
+      machine.exchange(std::move(outboxes), simt::Transport::kPointToPoint),
+      PreconditionError);
 }
 
 TEST(FailureInjection, PartitionRejectsSystemTooFewBlocks) {
