@@ -12,7 +12,9 @@
 // and times both paths, requiring >= 2x vectors/s at the widest panel in
 // the full sweep (panel kernels amortize every tensor-element load over
 // the whole batch). Results go to BENCH_batch.json in the working
-// directory. `--quick` runs a reduced sweep for CI smoke.
+// directory. `--quick` runs a reduced sweep for CI smoke. `--trace
+// <path>` records one traced batched run and writes a Chrome trace_event
+// JSON there.
 
 #include <cstdint>
 #include <cstring>
@@ -25,6 +27,9 @@
 #include "batch/engine.hpp"
 #include "batch/plan.hpp"
 #include "core/parallel_sttsv.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "repro_common.hpp"
 #include "simt/machine.hpp"
 #include "support/rng.hpp"
@@ -122,8 +127,12 @@ int main(int argc, char** argv) {
   using namespace sttsv;
 
   bool quick = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") quick = true;
+    if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
   }
 
   repro::banner(quick ? "Batched STTSV engine (quick smoke sweep)"
@@ -241,6 +250,26 @@ int main(int argc, char** argv) {
                 "engine outputs bitwise equal to single-vector runs");
   }
 
+  // --- Optional traced batched run (--trace <path>). -------------------
+  if (!trace_path.empty()) {
+    obs::tracer().clear();
+    obs::tracer().configure({.tracing = true});
+    machine.reset_ledger();
+    const std::vector<std::vector<double>> x(
+        panel.begin(),
+        panel.begin() + static_cast<std::ptrdiff_t>(widths.back()));
+    batch::parallel_sttsv_batch(machine, *plan, a, x);
+    const auto spans = obs::tracer().snapshot();
+    obs::tracer().configure({.tracing = false});
+    {
+      std::ofstream tf(trace_path);
+      obs::write_chrome_trace(tf, spans);
+    }
+    const std::string summary = obs::rank_summary(spans);
+    if (!summary.empty()) std::cout << "\n" << summary;
+    std::cout << "\n  wrote " << trace_path << "\n";
+  }
+
   // --- Machine-readable artifact. --------------------------------------
   {
     std::ofstream out("BENCH_batch.json");
@@ -288,6 +317,15 @@ int main(int argc, char** argv) {
     w.field("batches_run", stats.batches_run);
     w.field("largest_batch", static_cast<std::uint64_t>(stats.largest_batch));
     w.end_object();
+    // Shared observability block: the machine's ledger (as left by the
+    // engine-verification runs) plus every publisher this bench touched.
+    {
+      obs::MetricsRegistry registry;
+      machine.ledger().to_metrics(registry);
+      cache.publish_metrics(registry);
+      engine.publish_metrics(registry);
+      repro::write_observability(w, machine.ledger(), registry);
+    }
     w.end_object();
   }
   std::cout << "\n  wrote BENCH_batch.json\n";

@@ -403,6 +403,26 @@ void write_json(const char* path) {
     w.end_object();
   }
   w.end_array();
+  // Shared observability block (ledger + metrics) from one probe run of
+  // the executor's smallest configuration, so this artifact carries the
+  // same "ledger"/"metrics" shape as the other benches.
+  {
+    auto part =
+        partition::TetraPartition::build(steiner::spherical_system(2));
+    partition::VectorDistribution dist(part, 120);
+    Rng rng(23);
+    const auto a = tensor::random_symmetric(120, rng);
+    const auto x = rng.uniform_vector(120);
+    simt::Machine probe(part.num_processors());
+    const auto r = core::parallel_sttsv(probe, part, dist, a, x,
+                                        simt::Transport::kPointToPoint);
+    obs::MetricsRegistry registry;
+    probe.ledger().to_metrics(registry);
+    std::uint64_t mults = 0;
+    for (const auto m : r.ternary_mults) mults += m;
+    registry.set_counter("kernels.ternary_mults", mults);
+    repro::write_observability(w, probe.ledger(), registry);
+  }
   w.end_object();
 }
 

@@ -12,7 +12,10 @@
 //
 // and report the overhead-vs-goodput price of the protocol per fault
 // rate. Results go to BENCH_resilience.json in the working directory.
-// `--quick` runs a reduced sweep for CI smoke.
+// `--quick` runs a reduced sweep for CI smoke. `--trace <path>` runs one
+// extra faulty run with the obs tracer enabled and writes a Chrome
+// trace_event JSON (open in chrome://tracing or ui.perfetto.dev) plus a
+// flat metrics file at <path>.metrics.json.
 
 #include <cstdint>
 #include <cstring>
@@ -22,6 +25,9 @@
 #include <vector>
 
 #include "core/parallel_sttsv.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "partition/tetra_partition.hpp"
 #include "partition/vector_distribution.hpp"
 #include "repro_common.hpp"
@@ -55,8 +61,12 @@ struct RatePoint {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") quick = true;
+    if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
   }
 
   repro::banner(quick ? "Resilient exchange under faults (quick smoke)"
@@ -198,6 +208,92 @@ int main(int argc, char** argv) {
                 "degraded exchanges leave structured FaultReports");
   }
 
+  // --- Optional traced faulty run (--trace <path>). --------------------
+  if (!trace_path.empty()) {
+    obs::tracer().clear();
+    obs::tracer().configure({.tracing = true});
+
+    simt::FaultConfig cfg;
+    cfg.drop = 0.20;
+    cfg.corrupt = 0.16;
+    cfg.duplicate = 0.12;
+    cfg.reorder = 0.25;
+    cfg.stall = 0.05;
+    cfg.seed = 0xC0FFEE;
+    simt::FaultInjector injector(cfg);
+    simt::Machine machine(P);
+    machine.set_fault_injector(&injector);
+    simt::ReliableExchange rex(machine, simt::RetryPolicy{32, 1, 64},
+                               simt::RecoveryPolicy::kFailFast);
+    const auto traced = core::parallel_sttsv(
+        rex, part, dist, a, x, simt::Transport::kPointToPoint);
+
+    const auto spans = obs::tracer().snapshot();
+    obs::tracer().configure({.tracing = false});
+
+    check.check(traced.y.size() == ref.y.size() &&
+                    std::memcmp(traced.y.data(), ref.y.data(),
+                                ref.y.size() * sizeof(double)) == 0,
+                "traced run stays bitwise identical to fault-free");
+    if (obs::kTracingCompiledIn) {
+      std::size_t overhead_spans = 0;
+      for (const auto& s : spans) {
+        if (s.category == obs::Category::kRetry) ++overhead_spans;
+      }
+      check.check(!spans.empty(), "tracer captured spans of the faulty run");
+      check.check(overhead_spans > 0,
+                  "retry/ACK spans attributed to the overhead channel");
+    }
+
+    obs::MetricsRegistry registry;
+    machine.ledger().to_metrics(registry);
+    rex.publish_metrics(registry);
+    injector.publish_metrics(registry);
+
+    // The exported metrics must reproduce the ledger exactly: the maxima
+    // and every per-rank goodput word count, word for word.
+    const simt::LedgerMaxima m = machine.ledger().maxima();
+    check.check(registry.counter("ledger.goodput.max_words_sent") ==
+                        m.words_sent &&
+                    registry.counter("ledger.goodput.max_words_received") ==
+                        m.words_received &&
+                    registry.counter("ledger.overhead.max_words_sent") ==
+                        m.overhead_words_sent &&
+                    registry.counter("ledger.overhead.max_words_received") ==
+                        m.overhead_words_received,
+                "exported metrics reproduce CommLedger::maxima() exactly");
+    bool per_rank_exact = true;
+    for (std::size_t p = 0; p < P; ++p) {
+      const std::string r = ".r" + std::to_string(p);
+      per_rank_exact =
+          per_rank_exact &&
+          registry.counter("ledger.goodput.words_sent" + r) ==
+              machine.ledger().words_sent(p) &&
+          registry.counter("ledger.goodput.words_received" + r) ==
+              machine.ledger().words_received(p);
+    }
+    check.check(per_rank_exact,
+                "per-rank goodput word counters match the ledger");
+
+    {
+      std::ofstream tf(trace_path);
+      obs::write_chrome_trace(tf, spans);
+    }
+    {
+      std::ofstream mf(trace_path + ".metrics.json");
+      repro::JsonWriter w(mf);
+      w.begin_object();
+      w.field("bench", "bench_resilience");
+      w.field("run", "traced-faulty");
+      repro::write_observability(w, machine.ledger(), registry);
+      w.end_object();
+    }
+    const std::string summary = obs::rank_summary(spans);
+    if (!summary.empty()) std::cout << "\n" << summary;
+    std::cout << "\n  wrote " << trace_path << " and " << trace_path
+              << ".metrics.json\n";
+  }
+
   // --- Machine-readable artifact. --------------------------------------
   {
     std::ofstream out("BENCH_resilience.json");
@@ -246,7 +342,10 @@ int main(int argc, char** argv) {
       simt::ReliableExchange rex(machine);
       core::parallel_sttsv(rex, part, dist, a, x,
                            simt::Transport::kPointToPoint);
-      repro::write_ledger_channels(w, machine.ledger());
+      obs::MetricsRegistry registry;
+      machine.ledger().to_metrics(registry);
+      rex.publish_metrics(registry);
+      repro::write_observability(w, machine.ledger(), registry);
     }
     w.end_object();
   }

@@ -11,9 +11,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "partition/blocks.hpp"
 #include "simt/ledger.hpp"
 #include "support/check.hpp"
+#include "support/json_writer.hpp"
 #include "support/table.hpp"
 #include "support/text.hpp"
 
@@ -66,93 +69,8 @@ inline void banner(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n\n";
 }
 
-/// Minimal streaming JSON writer shared by the BENCH_*.json emitters.
-/// Handles commas, nesting and indentation; callers provide the shape:
-///
-///   JsonWriter w(out);
-///   w.begin_object();
-///   w.field("bench", "bench_batch");
-///   w.begin_array("runs");
-///   w.begin_object(); w.field("n", std::uint64_t{256}); w.end_object();
-///   w.end_array();
-///   w.end_object();
-///
-/// Keys are emitted verbatim (callers pass plain identifiers); string
-/// values get quotes but no escaping — fine for the fixed vocabulary of
-/// the bench artifacts.
-class JsonWriter {
- public:
-  explicit JsonWriter(std::ostream& out, int precision = 6) : out_(out) {
-    out_.precision(precision);
-  }
-
-  ~JsonWriter() { STTSV_CHECK(depth() == 0, "unclosed JSON scope"); }
-
-  void begin_object() { open('{'); }
-  void begin_object(const char* key) { open('{', key); }
-  void end_object() { close('}'); }
-  void begin_array(const char* key) { open('[', key); }
-  void end_array() { close(']'); }
-
-  void field(const char* key, const char* value) {
-    pre(key);
-    out_ << '"' << value << '"';
-  }
-  void field(const char* key, const std::string& value) {
-    field(key, value.c_str());
-  }
-  void field(const char* key, double value) {
-    pre(key);
-    out_ << value;
-  }
-  void field(const char* key, std::uint64_t value) {
-    pre(key);
-    out_ << value;
-  }
-  void field(const char* key, bool value) {
-    pre(key);
-    out_ << (value ? "true" : "false");
-  }
-
- private:
-  [[nodiscard]] std::size_t depth() const { return needs_comma_.size(); }
-
-  void indent() {
-    for (std::size_t d = 0; d < depth(); ++d) out_ << "  ";
-  }
-
-  /// Comma/newline/indent before any value or key in the current scope.
-  void pre(const char* key = nullptr) {
-    if (!needs_comma_.empty()) {
-      if (needs_comma_.back()) out_ << ',';
-      out_ << '\n';
-      needs_comma_.back() = true;
-      indent();
-    }
-    if (key != nullptr) out_ << '"' << key << "\": ";
-  }
-
-  void open(char bracket, const char* key = nullptr) {
-    pre(key);
-    out_ << bracket;
-    needs_comma_.push_back(false);
-  }
-
-  void close(char bracket) {
-    STTSV_CHECK(!needs_comma_.empty(), "JSON scope underflow");
-    const bool had_content = needs_comma_.back();
-    needs_comma_.pop_back();
-    if (had_content) {
-      out_ << '\n';
-      indent();
-    }
-    out_ << bracket;
-    if (depth() == 0) out_ << '\n';
-  }
-
-  std::ostream& out_;
-  std::vector<bool> needs_comma_;
-};
+// JsonWriter lives in support/json_writer.hpp (same namespace) so library
+// code — the obs exporters in particular — can emit artifacts too.
 
 /// Emits the ledger's two channels — goodput (the Theorem 5.2 quantity)
 /// and resilience overhead — as one "ledger" object in the current JSON
@@ -174,6 +92,17 @@ inline void write_ledger_channels(JsonWriter& w,
   w.field("overhead_messages", ledger.overhead_messages());
   w.field("overhead_rounds", ledger.overhead_rounds());
   w.end_object();
+}
+
+/// The one observability block every bench artifact shares: the ledger's
+/// two-channel summary ("ledger") followed by the full metrics registry
+/// ("metrics"). Callers publish whatever they have into `registry`
+/// (CommLedger::to_metrics, ReliableExchange/FaultInjector/PlanCache/
+/// Engine::publish_metrics) before calling.
+inline void write_observability(JsonWriter& w, const simt::CommLedger& ledger,
+                                const obs::MetricsRegistry& registry) {
+  write_ledger_channels(w, ledger);
+  obs::write_metrics_json(w, registry);
 }
 
 }  // namespace sttsv::repro

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "batch/panel_kernels.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace sttsv::batch {
@@ -48,6 +49,7 @@ BatchRunResult parallel_sttsv_batch(
   }
 
   // ---- Phase 1: one aggregated x message per (rank, peer) pair. -------
+  obs::Span x_phase("batch.x-panel", obs::Category::kSuperstep, B);
   std::vector<std::vector<Envelope>> outboxes(P);
   for (std::size_t p = 0; p < P; ++p) {
     for (const Plan::PeerExchange& ex : plan.exchanges(p)) {
@@ -93,6 +95,7 @@ BatchRunResult parallel_sttsv_batch(
     }
   }
   inboxes.clear();
+  x_phase.close();
 
   // ---- Phase 2: panel kernels over owned blocks. ----------------------
   std::vector<std::vector<double>> y_loc(P);
@@ -114,6 +117,7 @@ BatchRunResult parallel_sttsv_batch(
   });
 
   // ---- Phase 3: one aggregated partial-y message per pair. ------------
+  obs::Span y_phase("batch.y-panel", obs::Category::kSuperstep, B);
   std::vector<std::vector<Envelope>> y_out(P);
   for (std::size_t p = 0; p < P; ++p) {
     for (const Plan::PeerExchange& ex : plan.exchanges(p)) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace sttsv::batch {
@@ -37,6 +39,7 @@ void Engine::flush() {
 void Engine::run_one_batch() {
   const std::size_t B = std::min(queue_.size(), opts_.max_batch_size);
   STTSV_CHECK(B >= 1, "empty batch");
+  obs::Span span("engine.batch", obs::Category::kEngineFlush, B);
   std::vector<std::vector<double>> x(B);
   for (std::size_t v = 0; v < B; ++v) x[v] = queue_[v].x;
 
@@ -63,6 +66,15 @@ void Engine::run_one_batch() {
     }
     ++stats_.requests_completed;
   }
+}
+
+void Engine::publish_metrics(obs::MetricsRegistry& out,
+                             const std::string& prefix) const {
+  out.set_counter(prefix + ".requests_submitted", stats_.requests_submitted);
+  out.set_counter(prefix + ".requests_completed", stats_.requests_completed);
+  out.set_counter(prefix + ".batches_run", stats_.batches_run);
+  out.set_counter(prefix + ".largest_batch", stats_.largest_batch);
+  out.set_counter(prefix + ".pending", queue_.size());
 }
 
 }  // namespace sttsv::batch

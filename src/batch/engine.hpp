@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "batch/batched_run.hpp"
@@ -20,6 +21,10 @@
 #include "simt/machine.hpp"
 #include "simt/reliable_exchange.hpp"
 #include "tensor/sym_tensor.hpp"
+
+namespace sttsv::obs {
+class MetricsRegistry;
+}  // namespace sttsv::obs
 
 namespace sttsv::batch {
 
@@ -68,6 +73,11 @@ class Engine {
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
   [[nodiscard]] const Plan& plan() const { return *plan_; }
   [[nodiscard]] const EngineOptions& options() const { return opts_; }
+
+  /// Publishes EngineStats (plus the current pending count) into `out` as
+  /// "<prefix>.*" counters, set absolutely so re-export is idempotent.
+  void publish_metrics(obs::MetricsRegistry& out,
+                       const std::string& prefix = "engine") const;
 
  private:
   void run_one_batch();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <type_traits>
 
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 #define STTSV_RESTRICT __restrict__
@@ -310,6 +311,8 @@ std::uint64_t apply_block_panel(const tensor::SymTensor3& a,
   const std::size_t j_end = std::min(j0 + b, n);
   const std::size_t k_end = std::min(k0 + b, n);
 
+  obs::Span span("kernel.panel", obs::Category::kKernel);
+  std::uint64_t mults = 0;
   if (c.i > c.j && c.j > c.k) {
     for_lane_chunks(lanes, [&](std::size_t v0, auto width) {
       interior_panel<decltype(width)::value>(
@@ -317,10 +320,9 @@ std::uint64_t apply_block_panel(const tensor::SymTensor3& a,
           buf.x[1] + v0, buf.x[2] + v0, buf.y[0] + v0, buf.y[1] + v0,
           buf.y[2] + v0, lanes);
     });
-    return 3 * static_cast<std::uint64_t>(i_end - i0) * (j_end - j0) *
-           (k_end - k0) * lanes;
-  }
-  if (c.i == c.j && c.j > c.k) {
+    mults = 3 * static_cast<std::uint64_t>(i_end - i0) * (j_end - j0) *
+            (k_end - k0) * lanes;
+  } else if (c.i == c.j && c.j > c.k) {
     // Slots 0 and 1 view the same row block (aliased by contract).
     for_lane_chunks(lanes, [&](std::size_t v0, auto width) {
       face_ij_panel<decltype(width)::value>(a.data(), i0, i_end, k0, k_end,
@@ -329,9 +331,8 @@ std::uint64_t apply_block_panel(const tensor::SymTensor3& a,
                                             lanes);
     });
     const std::uint64_t ni = i_end - i0;
-    return (k_end - k0) * (3 * (ni * (ni - 1) / 2) + 2 * ni) * lanes;
-  }
-  if (c.i > c.j && c.j == c.k) {
+    mults = (k_end - k0) * (3 * (ni * (ni - 1) / 2) + 2 * ni) * lanes;
+  } else if (c.i > c.j && c.j == c.k) {
     // Slots 1 and 2 view the same row block (aliased by contract).
     for_lane_chunks(lanes, [&](std::size_t v0, auto width) {
       face_jk_panel<decltype(width)::value>(a.data(), i0, i_end, j0, j_end,
@@ -341,9 +342,12 @@ std::uint64_t apply_block_panel(const tensor::SymTensor3& a,
     });
     const std::uint64_t ni = i_end - i0;
     const std::uint64_t nj = j_end - j0;
-    return ni * (3 * (nj * (nj - 1) / 2) + 2 * nj) * lanes;
+    mults = ni * (3 * (nj * (nj - 1) / 2) + 2 * nj) * lanes;
+  } else {
+    mults = generic_panel(a, c, b, lanes, buf);
   }
-  return generic_panel(a, c, b, lanes, buf);
+  span.set_arg(mults);
+  return mults;
 }
 
 }  // namespace sttsv::batch

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "steiner/constructions.hpp"
 #include "support/check.hpp"
 
@@ -152,10 +154,13 @@ std::shared_ptr<const Plan> PlanCache::get(const PlanKey& key) {
   const auto it = index_.find(key);
   if (it != index_.end()) {
     ++hits_;
+    obs::Span span("plan.cache-hit", obs::Category::kPlanCache,
+                   key.processors);
     entries_.splice(entries_.begin(), entries_, it->second);
     return it->second->second;
   }
   ++misses_;
+  obs::Span span("plan.build", obs::Category::kPlanCache, key.processors);
   auto plan = Plan::build(key);
   entries_.emplace_front(key, plan);
   index_[key] = entries_.begin();
@@ -169,6 +174,14 @@ std::shared_ptr<const Plan> PlanCache::get(const PlanKey& key) {
 void PlanCache::clear() {
   entries_.clear();
   index_.clear();
+}
+
+void PlanCache::publish_metrics(obs::MetricsRegistry& out,
+                                const std::string& prefix) const {
+  out.set_counter(prefix + ".hits", hits_);
+  out.set_counter(prefix + ".misses", misses_);
+  out.set_counter(prefix + ".size", entries_.size());
+  out.set_counter(prefix + ".capacity", capacity_);
 }
 
 }  // namespace sttsv::batch

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -19,6 +20,10 @@
 #include "partition/tetra_partition.hpp"
 #include "partition/vector_distribution.hpp"
 #include "simt/machine.hpp"
+
+namespace sttsv::obs {
+class MetricsRegistry;
+}  // namespace sttsv::obs
 
 namespace sttsv::batch {
 
@@ -143,6 +148,11 @@ class PlanCache {
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   void clear();
+
+  /// Publishes hit/miss/size/capacity into `out` as "<prefix>.*" counters,
+  /// set absolutely so re-export is idempotent.
+  void publish_metrics(obs::MetricsRegistry& out,
+                       const std::string& prefix = "plan_cache") const;
 
  private:
   using Entry = std::pair<PlanKey, std::shared_ptr<const Plan>>;

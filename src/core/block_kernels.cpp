@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 // The specialized kernels take mutually distinct buffers (aliased slots
@@ -247,24 +248,27 @@ std::uint64_t apply_block(const tensor::SymTensor3& a,
   const std::size_t j_end = std::min(j0 + b, n);
   const std::size_t k_end = std::min(k0 + b, n);
 
+  obs::Span span("kernel.block", obs::Category::kKernel);
+  std::uint64_t mults = 0;
   if (c.i > c.j && c.j > c.k) {
-    return interior_kernel(a.data(), i0, i_end, j0, j_end, k0, k_end,
-                           buf.x[0], buf.x[1], buf.x[2], buf.y[0], buf.y[1],
-                           buf.y[2]);
-  }
-  if (c.i == c.j && c.j > c.k) {
+    mults = interior_kernel(a.data(), i0, i_end, j0, j_end, k0, k_end,
+                            buf.x[0], buf.x[1], buf.x[2], buf.y[0], buf.y[1],
+                            buf.y[2]);
+  } else if (c.i == c.j && c.j > c.k) {
     // Slots 0 and 1 view the same row block (aliased by contract).
-    return face_ij_kernel(a.data(), i0, i_end, k0, k_end, buf.x[0], buf.x[2],
-                          buf.y[0], buf.y[2]);
-  }
-  if (c.i > c.j && c.j == c.k) {
+    mults = face_ij_kernel(a.data(), i0, i_end, k0, k_end, buf.x[0], buf.x[2],
+                           buf.y[0], buf.y[2]);
+  } else if (c.i > c.j && c.j == c.k) {
     // Slots 1 and 2 view the same row block (aliased by contract).
-    return face_jk_kernel(a.data(), i0, i_end, j0, j_end, buf.x[0], buf.x[1],
-                          buf.y[0], buf.y[1]);
+    mults = face_jk_kernel(a.data(), i0, i_end, j0, j_end, buf.x[0], buf.x[1],
+                           buf.y[0], buf.y[1]);
+  } else {
+    // Central diagonal block: every equality case appears; the element-wise
+    // reference handles them all and only m such blocks exist per tiling.
+    mults = apply_block_generic(a, c, b, buf);
   }
-  // Central diagonal block: every equality case appears; the element-wise
-  // reference handles them all and only m such blocks exist per tiling.
-  return apply_block_generic(a, c, b, buf);
+  span.set_arg(mults);
+  return mults;
 }
 
 }  // namespace sttsv::core

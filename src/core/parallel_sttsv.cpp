@@ -4,6 +4,7 @@
 #include <map>
 
 #include "core/block_kernels.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace sttsv::core {
@@ -76,6 +77,7 @@ ParallelRunResult parallel_sttsv(simt::Exchanger& exchanger,
   // ---- Phase 1: exchange x shares (Algorithm 5 lines 10-21). ----------
   // Pack: for each peer, the shares of common row blocks in (row block,
   // sender-share) order — receivers unpack with the same deterministic walk.
+  obs::Span x_phase("sttsv.x-shares", obs::Category::kSuperstep);
   std::vector<std::vector<Envelope>> outboxes(P);
   for (std::size_t p = 0; p < P; ++p) {
     for (const std::size_t peer : peers_of(part, p)) {
@@ -117,6 +119,7 @@ ParallelRunResult parallel_sttsv(simt::Exchanger& exchanger,
     }
   }
   inboxes.clear();
+  x_phase.close();
 
   // ---- Phase 2: local block kernels (Algorithm 5 lines 23-36). --------
   // Rank programs between the two exchanges are independent (rank p reads
@@ -143,6 +146,7 @@ ParallelRunResult parallel_sttsv(simt::Exchanger& exchanger,
   });
 
   // ---- Phase 3: exchange + reduce partial y (lines 38-50). ------------
+  obs::Span y_phase("sttsv.y-partials", obs::Category::kSuperstep);
   std::vector<std::vector<Envelope>> y_out(P);
   for (std::size_t p = 0; p < P; ++p) {
     for (const std::size_t peer : peers_of(part, p)) {

@@ -1,0 +1,90 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace sttsv::obs {
+
+void MetricsRegistry::add_counter(const std::string& name,
+                                  std::uint64_t delta) {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set_counter(const std::string& name,
+                                  std::uint64_t value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_[name] = value;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  HistogramStats& h = histograms_[name];
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+HistogramStats MetricsRegistry::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramStats{} : it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters()
+    const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::vector<std::pair<std::string, HistogramStats>>
+MetricsRegistry::histograms() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {histograms_.begin(), histograms_.end()};
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry m;
+  return m;
+}
+
+}  // namespace sttsv::obs

@@ -1,0 +1,77 @@
+#pragma once
+// Named metrics registry (DESIGN.md §11): counters, gauges and scalar
+// histograms that the instrumented subsystems publish into — the
+// CommLedger's two channels (CommLedger::to_metrics), ReliableExchange
+// and FaultInjector protocol stats, PlanCache hit rates, batch::Engine
+// throughput counters. Benches snapshot a registry into their JSON
+// artifacts via obs::write_metrics_json, so every run's breakdown is a
+// queryable artifact instead of hand-rolled fields.
+//
+// Names are flat dotted paths ("ledger.goodput.max_words_sent",
+// "rex.retransmitted_frames", "plan_cache.hits"); storage is ordered by
+// name so exports are deterministic. Recording takes a mutex — metrics
+// publication happens at run boundaries, never inside kernels, so the
+// lock is not on any hot path.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sttsv::obs {
+
+/// Scalar histogram summary: enough to report count/sum/min/max/mean of
+/// an observed distribution without binning policy.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to the named counter (created at 0).
+  void add_counter(const std::string& name, std::uint64_t delta = 1);
+  /// Sets the named counter to an absolute value (for publishing totals
+  /// that the producer already accumulated, e.g. ledger word counts).
+  void set_counter(const std::string& name, std::uint64_t value);
+  void set_gauge(const std::string& name, double value);
+  /// Folds one observation into the named histogram.
+  void observe(const std::string& name, double value);
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+  [[nodiscard]] double gauge(const std::string& name) const;
+  [[nodiscard]] HistogramStats histogram(const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters()
+      const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauges() const;
+  [[nodiscard]] std::vector<std::pair<std::string, HistogramStats>>
+  histograms() const;
+
+  [[nodiscard]] bool empty() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramStats> histograms_;
+};
+
+/// The process-wide registry instrumented subsystems default to when the
+/// caller does not pass one explicitly.
+MetricsRegistry& metrics();
+
+}  // namespace sttsv::obs

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "obs/metrics.hpp"
 #include "simt/machine.hpp"
 #include "support/check.hpp"
 
@@ -67,6 +68,31 @@ void FaultInjector::maybe_reorder(std::size_t rank,
   if (rng_.next_unit() >= config_.reorder) return;
   rng_.shuffle(inbox);
   log_.push_back({exchange_, FaultKind::kReorder, rank, rank, inbox.size()});
+}
+
+void FaultInjector::publish_metrics(obs::MetricsRegistry& out,
+                                    const std::string& prefix) const {
+  std::uint64_t drops = 0;
+  std::uint64_t corrupts = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t stalls = 0;
+  for (const FaultEvent& e : log_) {
+    switch (e.kind) {
+      case FaultKind::kDrop: ++drops; break;
+      case FaultKind::kCorrupt: ++corrupts; break;
+      case FaultKind::kDuplicate: ++duplicates; break;
+      case FaultKind::kReorder: ++reorders; break;
+      case FaultKind::kStall: ++stalls; break;
+    }
+  }
+  out.set_counter(prefix + ".drop", drops);
+  out.set_counter(prefix + ".corrupt", corrupts);
+  out.set_counter(prefix + ".duplicate", duplicates);
+  out.set_counter(prefix + ".reorder", reorders);
+  out.set_counter(prefix + ".stall", stalls);
+  out.set_counter(prefix + ".total", log_.size());
+  out.set_counter(prefix + ".exchanges_seen", exchange_);
 }
 
 }  // namespace sttsv::simt

@@ -21,10 +21,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "support/rng.hpp"
+
+namespace sttsv::obs {
+class MetricsRegistry;
+}  // namespace sttsv::obs
 
 namespace sttsv::simt {
 
@@ -84,6 +89,12 @@ class FaultInjector {
   [[nodiscard]] const std::vector<FaultEvent>& log() const { return log_; }
   [[nodiscard]] std::uint64_t exchanges_seen() const { return exchange_; }
   void clear_log() { log_.clear(); }
+
+  /// Publishes per-kind injected-fault counts from the log (plus the
+  /// total and exchanges seen) into `out` as "<prefix>.*" counters, set
+  /// absolutely so re-export is idempotent.
+  void publish_metrics(obs::MetricsRegistry& out,
+                       const std::string& prefix = "faults") const;
 
  private:
   [[nodiscard]] bool stalled(std::size_t rank);

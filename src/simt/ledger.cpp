@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 
 namespace sttsv::simt {
@@ -128,6 +129,34 @@ std::uint64_t CommLedger::total_overhead_words() const {
 std::uint64_t CommLedger::pair_words(std::size_t from, std::size_t to) const {
   const auto it = pair_.find(pair_key(from, to));
   return it == pair_.end() ? 0 : it->second;
+}
+
+void CommLedger::to_metrics(obs::MetricsRegistry& out,
+                            const std::string& prefix) const {
+  const LedgerMaxima m = maxima();
+  out.set_counter(prefix + ".goodput.max_words_sent", m.words_sent);
+  out.set_counter(prefix + ".goodput.max_words_received", m.words_received);
+  out.set_counter(prefix + ".overhead.max_words_sent", m.overhead_words_sent);
+  out.set_counter(prefix + ".overhead.max_words_received",
+                  m.overhead_words_received);
+  out.set_counter(prefix + ".goodput.total_words", total_words());
+  out.set_counter(prefix + ".goodput.total_messages", total_messages());
+  out.set_counter(prefix + ".goodput.rounds", rounds_);
+  out.set_counter(prefix + ".overhead.total_words", total_overhead_words());
+  out.set_counter(prefix + ".overhead.total_messages", overhead_msgs_);
+  out.set_counter(prefix + ".overhead.rounds", overhead_rounds_);
+  out.set_counter(prefix + ".modeled_collective_words", modeled_words_);
+  out.set_counter(prefix + ".active_pairs", pair_.size());
+  for (std::size_t p = 0; p < sent_.size(); ++p) {
+    const std::string rank = ".r" + std::to_string(p);
+    out.set_counter(prefix + ".goodput.words_sent" + rank, sent_[p]);
+    out.set_counter(prefix + ".goodput.words_received" + rank, received_[p]);
+    out.set_counter(prefix + ".goodput.messages_sent" + rank, msg_sent_[p]);
+    out.set_counter(prefix + ".overhead.words_sent" + rank,
+                    overhead_sent_[p]);
+    out.set_counter(prefix + ".overhead.words_received" + rank,
+                    overhead_received_[p]);
+  }
 }
 
 void CommLedger::verify_conservation() const {

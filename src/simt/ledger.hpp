@@ -24,8 +24,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
+
+namespace sttsv::obs {
+class MetricsRegistry;
+}  // namespace sttsv::obs
 
 namespace sttsv::simt {
 
@@ -102,6 +107,15 @@ class CommLedger {
 
   /// Distinct ordered pairs that exchanged at least one goodput word.
   [[nodiscard]] std::size_t active_pairs() const { return pair_.size(); }
+
+  /// Publishes the full ledger state into `out` under `prefix` (DESIGN.md
+  /// §11): per-rank goodput and overhead words/messages as
+  /// "<prefix>.goodput.words_sent.r<p>" counters, the four maxima()
+  /// values, totals, rounds and modeled collective words. Values are set
+  /// absolutely (set_counter), so exporting twice is idempotent. The
+  /// Theorem 5.2 quantities remain phrased on the goodput channel alone.
+  void to_metrics(obs::MetricsRegistry& out,
+                  const std::string& prefix = "ledger") const;
 
   /// Conservation check on both channels: Σ sent == Σ received for
   /// goodput and for overhead (throws InternalError on violation).

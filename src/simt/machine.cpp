@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "simt/fault_injector.hpp"
 #include "simt/parallel_for.hpp"
 #include "support/check.hpp"
@@ -29,6 +30,11 @@ std::vector<std::vector<Delivery>> Machine::exchange(
   }
 
   if (injector_ != nullptr) injector_->begin_exchange();
+
+  // The span's category is settled at the end: an exchange moving no
+  // goodput is pure protocol traffic and lands on the overhead channel
+  // (kRetry) in any exported trace.
+  obs::Span span("machine.exchange", obs::Category::kExchange);
 
   std::vector<std::vector<Delivery>> inboxes(P_);
   std::vector<std::size_t> sends_per_rank(P_, 0);
@@ -87,6 +93,8 @@ std::vector<std::vector<Delivery>> Machine::exchange(
   // An exchange that moves no goodput at all is pure protocol traffic
   // (ACK rounds, retransmissions): its steps are resilience overhead.
   const bool overhead_only = total_goodput == 0 && total_overhead > 0;
+  span.set_arg(total_goodput + total_overhead);
+  if (overhead_only) span.set_category(obs::Category::kRetry);
   switch (transport) {
     case Transport::kPointToPoint: {
       // König: a bipartite multigraph with max degree Δ is Δ-edge-
@@ -121,7 +129,14 @@ std::vector<std::vector<Delivery>> Machine::exchange(
 }
 
 void Machine::run_ranks(const std::function<void(std::size_t)>& body) const {
-  parallel_for(P_, body);
+  obs::Span step("machine.run_ranks", obs::Category::kSuperstep, P_);
+  parallel_for(P_, [&body](std::size_t p) {
+    // Attribute everything the rank program records — including the
+    // kernel spans below it — to rank p's track.
+    obs::ScopedRank as_rank(p);
+    obs::Span compute("rank.compute", obs::Category::kSuperstep, p);
+    body(p);
+  });
 }
 
 void Machine::reset_ledger() { ledger_ = CommLedger(P_); }

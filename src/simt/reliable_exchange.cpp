@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simt/fault_injector.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -188,6 +190,8 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
   ++exchange_counter_;
   ++stats_.exchanges;
 
+  obs::Span protocol_span("rex.exchange", obs::Category::kExchange);
+
   FaultInjector* injector = machine_.fault_injector();
   const std::size_t log_begin =
       injector != nullptr ? injector->log().size() : 0;
@@ -218,6 +222,7 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
     }
   }
   stats_.data_frames += frames.size();
+  protocol_span.set_arg(frames.size());
 
   // (pair, seq) -> frame index, for settling ACKs.
   std::unordered_map<std::uint64_t,
@@ -293,6 +298,9 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
     for (const auto& per_rank : acks) any_acks |= !per_rank.empty();
     if (!any_acks) return;
 
+    // ACK/NACK traffic is pure protocol: the round lands on the overhead
+    // channel in any exported trace.
+    obs::Span ack_span("rex.ack-round", obs::Category::kRetry);
     std::vector<std::vector<Envelope>> ack_out(P);
     for (std::size_t r = 0; r < P; ++r) {
       for (const auto& [sender, entries] : acks[r]) {
@@ -339,11 +347,17 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
         backoff *= 2;
       }
       backoff = std::min(backoff, retry_.backoff_cap_rounds);
+      obs::Span backoff_span("rex.backoff", obs::Category::kRetry, backoff);
       machine_.ledger().add_overhead_rounds(backoff);
       stats_.backoff_rounds += backoff;
     }
-    run_attempt(unacked, attempt == 0,
-                attempt == 0 ? transport : Transport::kPointToPoint);
+    if (attempt == 0) {
+      run_attempt(unacked, true, transport);
+    } else {
+      obs::Span retry_span("rex.retry", obs::Category::kRetry,
+                           unacked.size());
+      run_attempt(unacked, false, Transport::kPointToPoint);
+    }
     ++attempt;
   }
 
@@ -378,6 +392,8 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
     // owner-compute invariant — tensor blocks never travel, so each
     // contribution is deterministically replayable). Replay over a clean
     // channel with the injector bypassed, charged entirely as overhead.
+    obs::Span replay_span("rex.degraded-replay", obs::Category::kRetry,
+                          undelivered.size());
     machine_.set_fault_injector(nullptr);
     std::vector<std::vector<Envelope>> replay_out(P);
     for (const std::size_t idx : undelivered) {
@@ -424,6 +440,24 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
   STTSV_CHECK(delivered == frames.size(),
               "reliable exchange delivered frame count mismatch");
   return inboxes;
+}
+
+void ReliableExchange::publish_metrics(obs::MetricsRegistry& out,
+                                       const std::string& prefix) const {
+  out.set_counter(prefix + ".exchanges", stats_.exchanges);
+  out.set_counter(prefix + ".data_frames", stats_.data_frames);
+  out.set_counter(prefix + ".retransmitted_frames",
+                  stats_.retransmitted_frames);
+  out.set_counter(prefix + ".ack_frames", stats_.ack_frames);
+  out.set_counter(prefix + ".nack_entries", stats_.nack_entries);
+  out.set_counter(prefix + ".corrupt_frames_detected",
+                  stats_.corrupt_frames_detected);
+  out.set_counter(prefix + ".duplicate_frames_ignored",
+                  stats_.duplicate_frames_ignored);
+  out.set_counter(prefix + ".degraded_deliveries",
+                  stats_.degraded_deliveries);
+  out.set_counter(prefix + ".backoff_rounds", stats_.backoff_rounds);
+  out.set_counter(prefix + ".degraded_reports", reports_.size());
 }
 
 }  // namespace sttsv::simt

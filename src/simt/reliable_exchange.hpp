@@ -36,6 +36,10 @@
 
 #include "simt/machine.hpp"
 
+namespace sttsv::obs {
+class MetricsRegistry;
+}  // namespace sttsv::obs
+
 namespace sttsv::simt {
 
 /// Seam between the Algorithm-5 drivers and the wire: callers hand over
@@ -155,6 +159,11 @@ class ReliableExchange final : public Exchanger {
   [[nodiscard]] const std::vector<FaultReport>& reports() const {
     return reports_;
   }
+
+  /// Publishes Stats (plus the degraded-report count) into `out` as
+  /// "<prefix>.*" counters, set absolutely so re-export is idempotent.
+  void publish_metrics(obs::MetricsRegistry& out,
+                       const std::string& prefix = "rex") const;
 
  private:
   RetryPolicy retry_;

@@ -1,0 +1,102 @@
+#pragma once
+// Minimal streaming JSON writer shared by the BENCH_*.json emitters and
+// the obs exporters (moved here from bench/repro_common.hpp so library
+// code can emit artifacts too). Handles commas, nesting and indentation;
+// callers provide the shape:
+//
+//   JsonWriter w(out);
+//   w.begin_object();
+//   w.field("bench", "bench_batch");
+//   w.begin_array("runs");
+//   w.begin_object(); w.field("n", std::uint64_t{256}); w.end_object();
+//   w.end_array();
+//   w.end_object();
+//
+// Keys are emitted verbatim (callers pass plain identifiers); string
+// values get quotes but no escaping — fine for the fixed vocabulary of
+// the bench artifacts.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace sttsv::repro {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, int precision = 6) : out_(out) {
+    out_.precision(precision);
+  }
+
+  ~JsonWriter() { STTSV_CHECK(depth() == 0, "unclosed JSON scope"); }
+
+  void begin_object() { open('{'); }
+  void begin_object(const char* key) { open('{', key); }
+  void end_object() { close('}'); }
+  void begin_array(const char* key) { open('[', key); }
+  void end_array() { close(']'); }
+
+  void field(const char* key, const char* value) {
+    pre(key);
+    out_ << '"' << value << '"';
+  }
+  void field(const char* key, const std::string& value) {
+    field(key, value.c_str());
+  }
+  void field(const char* key, double value) {
+    pre(key);
+    out_ << value;
+  }
+  void field(const char* key, std::uint64_t value) {
+    pre(key);
+    out_ << value;
+  }
+  void field(const char* key, bool value) {
+    pre(key);
+    out_ << (value ? "true" : "false");
+  }
+
+ private:
+  [[nodiscard]] std::size_t depth() const { return needs_comma_.size(); }
+
+  void indent() {
+    for (std::size_t d = 0; d < depth(); ++d) out_ << "  ";
+  }
+
+  /// Comma/newline/indent before any value or key in the current scope.
+  void pre(const char* key = nullptr) {
+    if (!needs_comma_.empty()) {
+      if (needs_comma_.back()) out_ << ',';
+      out_ << '\n';
+      needs_comma_.back() = true;
+      indent();
+    }
+    if (key != nullptr) out_ << '"' << key << "\": ";
+  }
+
+  void open(char bracket, const char* key = nullptr) {
+    pre(key);
+    out_ << bracket;
+    needs_comma_.push_back(false);
+  }
+
+  void close(char bracket) {
+    STTSV_CHECK(!needs_comma_.empty(), "JSON scope underflow");
+    const bool had_content = needs_comma_.back();
+    needs_comma_.pop_back();
+    if (had_content) {
+      out_ << '\n';
+      indent();
+    }
+    out_ << bracket;
+    if (depth() == 0) out_ << '\n';
+  }
+
+  std::ostream& out_;
+  std::vector<bool> needs_comma_;
+};
+
+}  // namespace sttsv::repro
