@@ -4,6 +4,7 @@
 
 #include "batch/panel_kernels.hpp"
 #include "obs/trace.hpp"
+#include "simt/pipeline.hpp"
 #include "support/check.hpp"
 
 namespace sttsv::batch {
@@ -18,14 +19,14 @@ using simt::Envelope;
 
 BatchRunResult parallel_sttsv_batch(
     simt::Machine& machine, const Plan& plan, const tensor::SymTensor3& a,
-    const std::vector<std::vector<double>>& x) {
+    const std::vector<std::vector<double>>& x, simt::PipelineMode pipeline) {
   simt::DirectExchange direct(machine);
-  return parallel_sttsv_batch(direct, plan, a, x);
+  return parallel_sttsv_batch(direct, plan, a, x, pipeline);
 }
 
 BatchRunResult parallel_sttsv_batch(
     simt::Exchanger& exchanger, const Plan& plan, const tensor::SymTensor3& a,
-    const std::vector<std::vector<double>>& x) {
+    const std::vector<std::vector<double>>& x, simt::PipelineMode pipeline) {
   simt::Machine& machine = exchanger.machine();
   const partition::TetraPartition& part = plan.partition();
   const partition::VectorDistribution& dist = plan.distribution();
@@ -42,6 +43,10 @@ BatchRunResult parallel_sttsv_batch(
     STTSV_REQUIRE(xv.size() == n, "input vector length mismatch");
   }
 
+  // Pair-block chunking as in core::parallel_sttsv (DESIGN.md §12).
+  const std::size_t chunks =
+      pipeline == simt::PipelineMode::kDoubleBuffered && P > 1 ? 2 : 1;
+
   // Lane-interleaved padded panel: element g of lane v at g*B + v.
   std::vector<double> x_pad(dist.padded_n() * B, 0.0);
   for (std::size_t v = 0; v < B; ++v) {
@@ -49,27 +54,9 @@ BatchRunResult parallel_sttsv_batch(
   }
 
   // ---- Phase 1: one aggregated x message per (rank, peer) pair. -------
+  // Per-rank panels are seeded with own shares before the exchange so
+  // every pipeline part's deliveries land into disjoint panel slices.
   obs::Span x_phase("batch.x-panel", obs::Category::kSuperstep, B);
-  std::vector<std::vector<Envelope>> outboxes(P);
-  for (std::size_t p = 0; p < P; ++p) {
-    for (const Plan::PeerExchange& ex : plan.exchanges(p)) {
-      if (ex.x_words == 0) continue;
-      Envelope env;
-      env.to = ex.peer;
-      env.data.reserve(ex.x_words * B);
-      for (const Plan::BlockSlice& s : ex.slices) {
-        const double* base =
-            x_pad.data() + (s.block * b + s.sender.offset) * B;
-        env.data.insert(env.data.end(), base, base + s.sender.length * B);
-      }
-      outboxes[p].push_back(std::move(env));
-    }
-  }
-  exchanger.set_phase("x-panel");
-  auto inboxes = exchanger.exchange(std::move(outboxes), transport);
-
-  // Unpack into per-rank panels of full local row blocks: rank p holds
-  // one b×B panel per row block in R_p, indexed by plan.local_index.
   std::vector<std::vector<double>> x_loc(P);
   for (std::size_t p = 0; p < P; ++p) {
     x_loc[p].assign(part.R(p).size() * b * B, 0.0);
@@ -79,64 +66,109 @@ BatchRunResult parallel_sttsv_batch(
                   x_loc[p].data() +
                       (plan.local_index(p, i) * b + s.offset) * B);
     }
-    for (const Delivery& d : inboxes[p]) {
-      const Plan::PeerExchange& ex = plan.exchange_between(d.from, p);
-      std::size_t cursor = 0;
-      for (const Plan::BlockSlice& s : ex.slices) {
-        STTSV_CHECK(cursor + s.sender.length * B <= d.data.size(),
-                    "x delivery shorter than expected");
-        std::copy_n(d.data.data() + cursor, s.sender.length * B,
-                    x_loc[p].data() +
-                        (plan.local_index(p, s.block) * b + s.sender.offset) *
-                            B);
-        cursor += s.sender.length * B;
-      }
-      STTSV_CHECK(cursor == d.data.size(), "x delivery longer than expected");
-    }
   }
-  inboxes.clear();
+
+  const auto pack_x = [&](std::size_t c) {
+    std::vector<std::vector<Envelope>> outboxes(P);
+    for (std::size_t p = 0; p < P; ++p) {
+      for (const Plan::PeerExchange& ex : plan.exchanges(p)) {
+        if (ex.x_words == 0) continue;
+        if ((p + ex.peer) % chunks != c) continue;
+        simt::PooledBuffer buf = machine.pool().acquire(p, ex.x_words * B);
+        for (const Plan::BlockSlice& s : ex.slices) {
+          const double* base =
+              x_pad.data() + (s.block * b + s.sender.offset) * B;
+          buf.append(base, s.sender.length * B);
+        }
+        outboxes[p].push_back(Envelope{ex.peer, std::move(buf)});
+      }
+    }
+    return outboxes;
+  };
+  const auto consume_x = [&](std::vector<std::vector<Delivery>> in) {
+    for (std::size_t p = 0; p < in.size(); ++p) {
+      for (const Delivery& d : in[p]) {
+        const Plan::PeerExchange& ex = plan.exchange_between(d.from, p);
+        std::size_t cursor = 0;
+        for (const Plan::BlockSlice& s : ex.slices) {
+          STTSV_CHECK(cursor + s.sender.length * B <= d.data.size(),
+                      "x delivery shorter than expected");
+          std::copy_n(d.data.data() + cursor, s.sender.length * B,
+                      x_loc[p].data() +
+                          (plan.local_index(p, s.block) * b +
+                           s.sender.offset) *
+                              B);
+          cursor += s.sender.length * B;
+        }
+        STTSV_CHECK(cursor == d.data.size(), "x delivery longer than expected");
+      }
+    }
+  };
+  exchanger.set_phase("x-panel");
+  simt::pipelined_exchange(exchanger, transport, chunks, pipeline, pack_x,
+                           consume_x);
   x_phase.close();
 
-  // ---- Phase 2: panel kernels over owned blocks. ----------------------
+  // ---- Phases 2+3: panel kernels feeding the partial-y exchange. ------
+  // One rank group per chunk: its kernels run, its aggregated partial-y
+  // messages go on the wire, and the next group's kernels overlap that
+  // wire time. The reduction is deferred and sender-sorted below so the
+  // floating-point order matches the serialized schedule exactly.
   std::vector<std::vector<double>> y_loc(P);
   BatchRunResult result;
   result.ternary_mults.assign(P, 0);
-  machine.run_ranks([&](std::size_t p) {
-    y_loc[p].assign(part.R(p).size() * b * B, 0.0);
-    for (const partition::BlockCoord& c : plan.owned(p)) {
-      PanelBuffers buf;
-      buf.x[0] = x_loc[p].data() + plan.local_index(p, c.i) * b * B;
-      buf.x[1] = x_loc[p].data() + plan.local_index(p, c.j) * b * B;
-      buf.x[2] = x_loc[p].data() + plan.local_index(p, c.k) * b * B;
-      buf.y[0] = y_loc[p].data() + plan.local_index(p, c.i) * b * B;
-      buf.y[1] = y_loc[p].data() + plan.local_index(p, c.j) * b * B;
-      buf.y[2] = y_loc[p].data() + plan.local_index(p, c.k) * b * B;
-      result.ternary_mults[p] += apply_block_panel(a, c, b, B, buf);
-    }
-    x_loc[p] = {};  // frees the gathered inputs early
-  });
 
-  // ---- Phase 3: one aggregated partial-y message per pair. ------------
+  std::vector<std::vector<std::size_t>> rank_chunks(chunks);
+  for (std::size_t p = 0; p < P; ++p) rank_chunks[p % chunks].push_back(p);
+
   obs::Span y_phase("batch.y-panel", obs::Category::kSuperstep, B);
-  std::vector<std::vector<Envelope>> y_out(P);
-  for (std::size_t p = 0; p < P; ++p) {
-    for (const Plan::PeerExchange& ex : plan.exchanges(p)) {
-      if (ex.y_words == 0) continue;
-      Envelope env;
-      env.to = ex.peer;
-      env.data.reserve(ex.y_words * B);
-      // Send the *receiver's* share of each common row block.
-      for (const Plan::BlockSlice& s : ex.slices) {
-        const double* base =
-            y_loc[p].data() +
-            (plan.local_index(p, s.block) * b + s.receiver.offset) * B;
-        env.data.insert(env.data.end(), base, base + s.receiver.length * B);
+  const auto pack_y = [&](std::size_t c) {
+    machine.run_ranks(rank_chunks[c], [&](std::size_t p) {
+      y_loc[p].assign(part.R(p).size() * b * B, 0.0);
+      for (const partition::BlockCoord& coord : plan.owned(p)) {
+        PanelBuffers buf;
+        buf.x[0] = x_loc[p].data() + plan.local_index(p, coord.i) * b * B;
+        buf.x[1] = x_loc[p].data() + plan.local_index(p, coord.j) * b * B;
+        buf.x[2] = x_loc[p].data() + plan.local_index(p, coord.k) * b * B;
+        buf.y[0] = y_loc[p].data() + plan.local_index(p, coord.i) * b * B;
+        buf.y[1] = y_loc[p].data() + plan.local_index(p, coord.j) * b * B;
+        buf.y[2] = y_loc[p].data() + plan.local_index(p, coord.k) * b * B;
+        result.ternary_mults[p] += apply_block_panel(a, coord, b, B, buf);
       }
-      y_out[p].push_back(std::move(env));
+      x_loc[p] = {};  // frees the gathered inputs early
+    });
+    std::vector<std::vector<Envelope>> y_out(P);
+    for (const std::size_t p : rank_chunks[c]) {
+      for (const Plan::PeerExchange& ex : plan.exchanges(p)) {
+        if (ex.y_words == 0) continue;
+        simt::PooledBuffer buf = machine.pool().acquire(p, ex.y_words * B);
+        // Send the *receiver's* share of each common row block.
+        for (const Plan::BlockSlice& s : ex.slices) {
+          const double* base =
+              y_loc[p].data() +
+              (plan.local_index(p, s.block) * b + s.receiver.offset) * B;
+          buf.append(base, s.receiver.length * B);
+        }
+        y_out[p].push_back(Envelope{ex.peer, std::move(buf)});
+      }
     }
-  }
+    return y_out;
+  };
+  std::vector<std::vector<Delivery>> y_in(P);
+  const auto collect_y = [&](std::vector<std::vector<Delivery>> in) {
+    for (std::size_t p = 0; p < in.size(); ++p) {
+      for (Delivery& d : in[p]) y_in[p].push_back(std::move(d));
+    }
+  };
   exchanger.set_phase("y-panel");
-  auto y_in = exchanger.exchange(std::move(y_out), transport);
+  simt::pipelined_exchange(exchanger, transport, chunks, pipeline, pack_y,
+                           collect_y);
+  for (auto& inbox : y_in) {
+    std::stable_sort(inbox.begin(), inbox.end(),
+                     [](const Delivery& da, const Delivery& db) {
+                       return da.from < db.from;
+                     });
+  }
 
   // Own share = local partial + sum of received partials, in the same
   // rank-major, sender-ascending order as the single-vector run.

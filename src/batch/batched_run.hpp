@@ -19,6 +19,7 @@
 #include "batch/plan.hpp"
 #include "simt/ledger.hpp"
 #include "simt/machine.hpp"
+#include "simt/pipeline.hpp"
 #include "simt/reliable_exchange.hpp"
 #include "tensor/sym_tensor.hpp"
 
@@ -39,18 +40,22 @@ struct BatchRunResult {
 /// core::parallel_sttsv(machine, ..., x_v, plan.key().transport).
 /// Requirements: machine.num_ranks() == plan.num_processors(),
 /// a.dim() == plan.key().n, every x_v of length n.
-BatchRunResult parallel_sttsv_batch(simt::Machine& machine, const Plan& plan,
-                                    const tensor::SymTensor3& a,
-                                    const std::vector<std::vector<double>>& x);
+/// `pipeline` selects the phase schedule (see core::parallel_sttsv):
+/// kDoubleBuffered overlaps pair-block chunks, kSerialized is the
+/// historical order; lanes and ledger are identical either way.
+BatchRunResult parallel_sttsv_batch(
+    simt::Machine& machine, const Plan& plan, const tensor::SymTensor3& a,
+    const std::vector<std::vector<double>>& x,
+    simt::PipelineMode pipeline = simt::PipelineMode::kDoubleBuffered);
 
 /// Same batch, communication routed through `exchanger` (DESIGN.md §10):
 /// with simt::ReliableExchange the aggregated panel exchanges survive
 /// injected wire faults bitwise, goodput stays at B × the single-vector
 /// optimum, and protocol cost lands on the ledger's overhead channel.
 /// Phases are labeled "x-panel" and "y-panel" in any FaultReport.
-BatchRunResult parallel_sttsv_batch(simt::Exchanger& exchanger,
-                                    const Plan& plan,
-                                    const tensor::SymTensor3& a,
-                                    const std::vector<std::vector<double>>& x);
+BatchRunResult parallel_sttsv_batch(
+    simt::Exchanger& exchanger, const Plan& plan, const tensor::SymTensor3& a,
+    const std::vector<std::vector<double>>& x,
+    simt::PipelineMode pipeline = simt::PipelineMode::kDoubleBuffered);
 
 }  // namespace sttsv::batch

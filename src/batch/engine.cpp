@@ -21,6 +21,9 @@ Engine::Engine(simt::Machine& machine, std::shared_ptr<const Plan> plan,
   STTSV_REQUIRE(opts_.exchanger == nullptr ||
                     &opts_.exchanger->machine() == &machine_,
                 "engine exchanger must wrap the engine's machine");
+  // Size the pool for a full-width batch up front so even the first
+  // batch's message path is allocation-free (DESIGN.md §12).
+  plan_->prewarm_pool(machine_.pool(), opts_.max_batch_size);
 }
 
 std::size_t Engine::submit(std::vector<double> x, Callback callback) {
@@ -49,8 +52,9 @@ void Engine::run_one_batch() {
   // consumed).
   BatchRunResult result =
       opts_.exchanger != nullptr
-          ? parallel_sttsv_batch(*opts_.exchanger, *plan_, a_, x)
-          : parallel_sttsv_batch(machine_, *plan_, a_, x);
+          ? parallel_sttsv_batch(*opts_.exchanger, *plan_, a_, x,
+                                 opts_.pipeline)
+          : parallel_sttsv_batch(machine_, *plan_, a_, x, opts_.pipeline);
 
   std::vector<Request> batch;
   batch.reserve(B);

@@ -40,6 +40,9 @@ struct EngineOptions {
   /// under kDegrade the batch completes and the exchanger's reports()
   /// record the degraded exchanges. Non-owning; must outlive the engine.
   simt::Exchanger* exchanger = nullptr;
+  /// Phase schedule for every batch (see core::parallel_sttsv): outputs
+  /// and ledger channels are identical under both modes (DESIGN.md §12).
+  simt::PipelineMode pipeline = simt::PipelineMode::kDoubleBuffered;
 };
 
 struct EngineStats {

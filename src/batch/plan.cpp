@@ -114,6 +114,41 @@ Plan::Plan(PlanKey key, std::unique_ptr<partition::TetraPartition> part,
   }
 }
 
+void Plan::prewarm_pool(simt::BufferPool& pool, std::size_t lanes) const {
+  STTSV_REQUIRE(lanes >= 1, "prewarm needs at least one lane");
+  constexpr std::size_t kRexHeaderWords = 8;  // >= data-frame header
+  for (std::size_t p = 0; p < exchanges_.size(); ++p) {
+    // Bucket -> simultaneous buffers rank p needs in the worst phase.
+    // x and y phases never overlap, so the requirement is the per-phase
+    // max, not the sum. Each message may exist twice at once under
+    // ReliableExchange (retained payload + framed wire copy), and the
+    // frame rides in the header bucket of payload + header words.
+    std::unordered_map<std::size_t, std::size_t> x_need;
+    std::unordered_map<std::size_t, std::size_t> y_need;
+    for (const PeerExchange& ex : exchanges_[p]) {
+      if (ex.x_words > 0) {
+        ++x_need[simt::BufferPool::bucket_capacity(ex.x_words * lanes)];
+        ++x_need[simt::BufferPool::bucket_capacity(ex.x_words * lanes +
+                                                   kRexHeaderWords)];
+      }
+      if (ex.y_words > 0) {
+        ++y_need[simt::BufferPool::bucket_capacity(ex.y_words * lanes)];
+        ++y_need[simt::BufferPool::bucket_capacity(ex.y_words * lanes +
+                                                   kRexHeaderWords)];
+      }
+    }
+    for (auto& [capacity, count] : x_need) {
+      const auto yit = y_need.find(capacity);
+      const std::size_t need =
+          yit == y_need.end() ? count : std::max(count, yit->second);
+      pool.reserve(p, capacity, need);
+    }
+    for (const auto& [capacity, count] : y_need) {
+      if (!x_need.contains(capacity)) pool.reserve(p, capacity, count);
+    }
+  }
+}
+
 const Plan::PeerExchange& Plan::exchange_between(std::size_t from,
                                                  std::size_t to) const {
   STTSV_REQUIRE(from < exchanges_.size(), "rank out of range");

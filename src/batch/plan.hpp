@@ -120,6 +120,13 @@ class Plan {
     return simt::Machine(key_.processors);
   }
 
+  /// Pre-sizes a machine's BufferPool from this plan's exchange walk: for
+  /// every (rank, peer) message of up to `lanes` aggregated vectors, the
+  /// serving slab bucket is topped up, so the first batch — not just the
+  /// second — runs the message path allocation-free (DESIGN.md §12).
+  /// Also covers ReliableExchange's framed copies (header + payload).
+  void prewarm_pool(simt::BufferPool& pool, std::size_t lanes) const;
+
  private:
   Plan(PlanKey key, std::unique_ptr<partition::TetraPartition> part,
        std::unique_ptr<partition::VectorDistribution> dist);

@@ -5,6 +5,7 @@
 
 #include "core/block_kernels.hpp"
 #include "obs/trace.hpp"
+#include "simt/pipeline.hpp"
 #include "support/check.hpp"
 
 namespace sttsv::core {
@@ -50,9 +51,10 @@ ParallelRunResult parallel_sttsv(simt::Machine& machine,
                                  const VectorDistribution& dist,
                                  const tensor::SymTensor3& a,
                                  const std::vector<double>& x,
-                                 simt::Transport transport) {
+                                 simt::Transport transport,
+                                 simt::PipelineMode pipeline) {
   simt::DirectExchange direct(machine);
-  return parallel_sttsv(direct, part, dist, a, x, transport);
+  return parallel_sttsv(direct, part, dist, a, x, transport, pipeline);
 }
 
 ParallelRunResult parallel_sttsv(simt::Exchanger& exchanger,
@@ -60,7 +62,8 @@ ParallelRunResult parallel_sttsv(simt::Exchanger& exchanger,
                                  const VectorDistribution& dist,
                                  const tensor::SymTensor3& a,
                                  const std::vector<double>& x,
-                                 simt::Transport transport) {
+                                 simt::Transport transport,
+                                 simt::PipelineMode pipeline) {
   simt::Machine& machine = exchanger.machine();
   const std::size_t P = part.num_processors();
   const std::size_t b = dist.block_length_b();
@@ -70,32 +73,25 @@ ParallelRunResult parallel_sttsv(simt::Exchanger& exchanger,
   STTSV_REQUIRE(a.dim() == n, "tensor dimension must match distribution");
   STTSV_REQUIRE(x.size() == n, "input vector length mismatch");
 
+  // Each communication phase is one logical exchange split into pair-block
+  // chunks: chunk t+1 packs (or computes) while chunk t is on the wire.
+  // The ledger cannot tell the difference (DESIGN.md §12).
+  const std::size_t chunks =
+      pipeline == simt::PipelineMode::kDoubleBuffered && P > 1 ? 2 : 1;
+
+  std::vector<std::vector<std::size_t>> peers(P);
+  for (std::size_t p = 0; p < P; ++p) peers[p] = peers_of(part, p);
+
   // Padded copy of x: row block i occupies [i*b, (i+1)*b).
   std::vector<double> x_pad(dist.padded_n(), 0.0);
   std::copy(x.begin(), x.end(), x_pad.begin());
 
   // ---- Phase 1: exchange x shares (Algorithm 5 lines 10-21). ----------
-  // Pack: for each peer, the shares of common row blocks in (row block,
-  // sender-share) order — receivers unpack with the same deterministic walk.
+  // Local row blocks x_loc[p][i] (length b each) are seeded with the
+  // rank's own share up front, so each pipeline part's deliveries can be
+  // unpacked the moment it completes: every delivery writes a disjoint
+  // (block, sender-share) slice, making the landing order irrelevant.
   obs::Span x_phase("sttsv.x-shares", obs::Category::kSuperstep);
-  std::vector<std::vector<Envelope>> outboxes(P);
-  for (std::size_t p = 0; p < P; ++p) {
-    for (const std::size_t peer : peers_of(part, p)) {
-      Envelope env;
-      env.to = peer;
-      for (const std::size_t i : common_blocks(part, p, peer)) {
-        const Share s = dist.share(i, p);
-        const double* base = x_pad.data() + i * b + s.offset;
-        env.data.insert(env.data.end(), base, base + s.length);
-      }
-      if (!env.data.empty()) outboxes[p].push_back(std::move(env));
-    }
-  }
-  exchanger.set_phase("x-shares");
-  auto inboxes = exchanger.exchange(std::move(outboxes), transport);
-
-  // Unpack into full local row blocks x_loc[p][i] (length b each).
-  // Start from the rank's own share, then place every delivery.
   std::vector<std::map<std::size_t, std::vector<double>>> x_loc(P);
   for (std::size_t p = 0; p < P; ++p) {
     for (const std::size_t i : part.R(p)) {
@@ -105,66 +101,119 @@ ParallelRunResult parallel_sttsv(simt::Exchanger& exchanger,
       std::copy_n(x_pad.data() + i * b + s.offset, s.length,
                   blockvec.data() + s.offset);
     }
-    for (const Delivery& d : inboxes[p]) {
-      std::size_t cursor = 0;
-      for (const std::size_t i : common_blocks(part, p, d.from)) {
-        const Share s = dist.share(i, d.from);
-        STTSV_CHECK(cursor + s.length <= d.data.size(),
-                    "x delivery shorter than expected");
-        std::copy_n(d.data.data() + cursor, s.length,
-                    x_loc[p][i].data() + s.offset);
-        cursor += s.length;
-      }
-      STTSV_CHECK(cursor == d.data.size(), "x delivery longer than expected");
-    }
   }
-  inboxes.clear();
+
+  // Pack: for each peer, the shares of common row blocks in (row block,
+  // sender-share) order — receivers unpack with the same deterministic
+  // walk. Buffers are leased exactly sized from the sender's pool shard.
+  const auto pack_x = [&](std::size_t c) {
+    std::vector<std::vector<Envelope>> outboxes(P);
+    for (std::size_t p = 0; p < P; ++p) {
+      for (const std::size_t peer : peers[p]) {
+        if ((p + peer) % chunks != c) continue;
+        const std::vector<std::size_t> common = common_blocks(part, p, peer);
+        std::size_t words = 0;
+        for (const std::size_t i : common) words += dist.share(i, p).length;
+        if (words == 0) continue;
+        simt::PooledBuffer buf = machine.pool().acquire(p, words);
+        for (const std::size_t i : common) {
+          const Share s = dist.share(i, p);
+          buf.append(x_pad.data() + i * b + s.offset, s.length);
+        }
+        outboxes[p].push_back(Envelope{peer, std::move(buf)});
+      }
+    }
+    return outboxes;
+  };
+  const auto consume_x = [&](std::vector<std::vector<Delivery>> in) {
+    for (std::size_t p = 0; p < in.size(); ++p) {
+      for (const Delivery& d : in[p]) {
+        std::size_t cursor = 0;
+        for (const std::size_t i : common_blocks(part, p, d.from)) {
+          const Share s = dist.share(i, d.from);
+          STTSV_CHECK(cursor + s.length <= d.data.size(),
+                      "x delivery shorter than expected");
+          std::copy_n(d.data.data() + cursor, s.length,
+                      x_loc[p][i].data() + s.offset);
+          cursor += s.length;
+        }
+        STTSV_CHECK(cursor == d.data.size(), "x delivery longer than expected");
+      }
+    }
+  };
+  exchanger.set_phase("x-shares");
+  simt::pipelined_exchange(exchanger, transport, chunks, pipeline, pack_x,
+                           consume_x);
   x_phase.close();
 
-  // ---- Phase 2: local block kernels (Algorithm 5 lines 23-36). --------
-  // Rank programs between the two exchanges are independent (rank p reads
-  // x_loc[p], writes y_loc[p]), so they run on host threads; the ledger
-  // and the produced y are identical to the sequential rank order.
+  // ---- Phases 2+3: block kernels feeding the partial-y exchange. ------
+  // Ranks are split into `chunks` groups; each pack runs one group's
+  // kernels (rank programs stay independent — rank p reads x_loc[p],
+  // writes y_loc[p]) and posts that group's partial-y messages, so the
+  // other group's kernels overlap the wire time. The reduction below is
+  // deferred until every part has landed and re-sorted by sender, which
+  // pins the exact floating-point order of the serialized schedule.
   std::vector<std::map<std::size_t, std::vector<double>>> y_loc(P);
   ParallelRunResult result;
   result.ternary_mults.assign(P, 0);
-  machine.run_ranks([&](std::size_t p) {
-    for (const std::size_t i : part.R(p)) {
-      y_loc[p][i].assign(b, 0.0);
-    }
-    for (const partition::BlockCoord& c : part.owned_blocks(p)) {
-      BlockBuffers buf;
-      buf.x[0] = x_loc[p].at(c.i).data();
-      buf.x[1] = x_loc[p].at(c.j).data();
-      buf.x[2] = x_loc[p].at(c.k).data();
-      buf.y[0] = y_loc[p].at(c.i).data();
-      buf.y[1] = y_loc[p].at(c.j).data();
-      buf.y[2] = y_loc[p].at(c.k).data();
-      result.ternary_mults[p] += apply_block(a, c, b, buf);
-    }
-    x_loc[p].clear();  // frees the gathered inputs early
-  });
 
-  // ---- Phase 3: exchange + reduce partial y (lines 38-50). ------------
+  std::vector<std::vector<std::size_t>> rank_chunks(chunks);
+  for (std::size_t p = 0; p < P; ++p) rank_chunks[p % chunks].push_back(p);
+
   obs::Span y_phase("sttsv.y-partials", obs::Category::kSuperstep);
-  std::vector<std::vector<Envelope>> y_out(P);
-  for (std::size_t p = 0; p < P; ++p) {
-    for (const std::size_t peer : peers_of(part, p)) {
-      Envelope env;
-      env.to = peer;
-      // Send the *receiver's* share of each common row block.
-      for (const std::size_t i : common_blocks(part, p, peer)) {
-        const Share s = dist.share(i, peer);
-        const double* base = y_loc[p].at(i).data() + s.offset;
-        env.data.insert(env.data.end(), base, base + s.length);
+  const auto pack_y = [&](std::size_t c) {
+    machine.run_ranks(rank_chunks[c], [&](std::size_t p) {
+      for (const std::size_t i : part.R(p)) {
+        y_loc[p][i].assign(b, 0.0);
       }
-      if (!env.data.empty()) y_out[p].push_back(std::move(env));
+      for (const partition::BlockCoord& coord : part.owned_blocks(p)) {
+        BlockBuffers buf;
+        buf.x[0] = x_loc[p].at(coord.i).data();
+        buf.x[1] = x_loc[p].at(coord.j).data();
+        buf.x[2] = x_loc[p].at(coord.k).data();
+        buf.y[0] = y_loc[p].at(coord.i).data();
+        buf.y[1] = y_loc[p].at(coord.j).data();
+        buf.y[2] = y_loc[p].at(coord.k).data();
+        result.ternary_mults[p] += apply_block(a, coord, b, buf);
+      }
+      x_loc[p].clear();  // frees the gathered inputs early
+    });
+    std::vector<std::vector<Envelope>> y_out(P);
+    for (const std::size_t p : rank_chunks[c]) {
+      for (const std::size_t peer : peers[p]) {
+        // Send the *receiver's* share of each common row block.
+        const std::vector<std::size_t> common = common_blocks(part, p, peer);
+        std::size_t words = 0;
+        for (const std::size_t i : common) words += dist.share(i, peer).length;
+        if (words == 0) continue;
+        simt::PooledBuffer buf = machine.pool().acquire(p, words);
+        for (const std::size_t i : common) {
+          const Share s = dist.share(i, peer);
+          buf.append(y_loc[p].at(i).data() + s.offset, s.length);
+        }
+        y_out[p].push_back(Envelope{peer, std::move(buf)});
+      }
     }
-  }
+    return y_out;
+  };
+  std::vector<std::vector<Delivery>> y_in(P);
+  const auto collect_y = [&](std::vector<std::vector<Delivery>> in) {
+    for (std::size_t p = 0; p < in.size(); ++p) {
+      for (Delivery& d : in[p]) y_in[p].push_back(std::move(d));
+    }
+  };
   exchanger.set_phase("y-partials");
-  auto y_in = exchanger.exchange(std::move(y_out), transport);
+  simt::pipelined_exchange(exchanger, transport, chunks, pipeline, pack_y,
+                           collect_y);
+  for (auto& inbox : y_in) {
+    std::stable_sort(inbox.begin(), inbox.end(),
+                     [](const Delivery& da, const Delivery& db) {
+                       return da.from < db.from;
+                     });
+  }
 
-  // Own share = local partial + sum of received partials.
+  // Own share = local partial + sum of received partials, senders
+  // ascending — the serialized reduction order, bit for bit.
   std::vector<double> y_pad(dist.padded_n(), 0.0);
   for (std::size_t p = 0; p < P; ++p) {
     // Seed with this rank's local partials on its own shares.

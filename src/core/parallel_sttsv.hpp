@@ -15,6 +15,7 @@
 #include "partition/tetra_partition.hpp"
 #include "partition/vector_distribution.hpp"
 #include "simt/machine.hpp"
+#include "simt/pipeline.hpp"
 #include "simt/reliable_exchange.hpp"
 #include "tensor/sym_tensor.hpp"
 
@@ -35,12 +36,16 @@ struct ParallelRunResult {
 /// distribution. Requirements: machine.num_ranks() == part.num_processors(),
 /// dist built over the same partition, x.size() == dist.logical_n(),
 /// a.dim() == dist.logical_n().
-ParallelRunResult parallel_sttsv(simt::Machine& machine,
-                                 const partition::TetraPartition& part,
-                                 const partition::VectorDistribution& dist,
-                                 const tensor::SymTensor3& a,
-                                 const std::vector<double>& x,
-                                 simt::Transport transport);
+/// `pipeline` selects the phase schedule: kDoubleBuffered (default)
+/// overlaps each chunk's pack/kernels with the previous chunk's wire
+/// time; kSerialized is the historical pack-all-then-exchange order.
+/// Both produce bitwise-identical y and identical ledger channels
+/// (DESIGN.md §12).
+ParallelRunResult parallel_sttsv(
+    simt::Machine& machine, const partition::TetraPartition& part,
+    const partition::VectorDistribution& dist, const tensor::SymTensor3& a,
+    const std::vector<double>& x, simt::Transport transport,
+    simt::PipelineMode pipeline = simt::PipelineMode::kDoubleBuffered);
 
 /// Same run, but communication goes through `exchanger` (the resilience
 /// seam, DESIGN.md §10). With simt::DirectExchange this is the raw run
@@ -51,11 +56,10 @@ ParallelRunResult parallel_sttsv(simt::Machine& machine,
 /// the retry budget raises simt::FaultError (kFailFast) or is healed by
 /// owner-compute replay (kDegrade); phases are labeled "x-shares" and
 /// "y-partials" in any FaultReport.
-ParallelRunResult parallel_sttsv(simt::Exchanger& exchanger,
-                                 const partition::TetraPartition& part,
-                                 const partition::VectorDistribution& dist,
-                                 const tensor::SymTensor3& a,
-                                 const std::vector<double>& x,
-                                 simt::Transport transport);
+ParallelRunResult parallel_sttsv(
+    simt::Exchanger& exchanger, const partition::TetraPartition& part,
+    const partition::VectorDistribution& dist, const tensor::SymTensor3& a,
+    const std::vector<double>& x, simt::Transport transport,
+    simt::PipelineMode pipeline = simt::PipelineMode::kDoubleBuffered);
 
 }  // namespace sttsv::core

@@ -88,14 +88,16 @@ SymvRunResult parallel_symv(simt::Machine& machine,
   std::vector<std::vector<Envelope>> outboxes(P);
   for (std::size_t p = 0; p < P; ++p) {
     for (const std::size_t peer : peers_of(part, p)) {
-      Envelope env;
-      env.to = peer;
-      for (const std::size_t i : common_blocks(part, p, peer)) {
+      const std::vector<std::size_t> common = common_blocks(part, p, peer);
+      std::size_t words = 0;
+      for (const std::size_t i : common) words += part.share(i, p).length;
+      if (words == 0) continue;
+      simt::PooledBuffer buf = machine.pool().acquire(p, words);
+      for (const std::size_t i : common) {
         const MatShare s = part.share(i, p);
-        const double* base = x_pad.data() + i * b + s.offset;
-        env.data.insert(env.data.end(), base, base + s.length);
+        buf.append(x_pad.data() + i * b + s.offset, s.length);
       }
-      if (!env.data.empty()) outboxes[p].push_back(std::move(env));
+      outboxes[p].push_back(Envelope{peer, std::move(buf)});
     }
   }
   auto inboxes = machine.exchange(std::move(outboxes), transport);
@@ -139,14 +141,16 @@ SymvRunResult parallel_symv(simt::Machine& machine,
   std::vector<std::vector<Envelope>> y_out(P);
   for (std::size_t p = 0; p < P; ++p) {
     for (const std::size_t peer : peers_of(part, p)) {
-      Envelope env;
-      env.to = peer;
-      for (const std::size_t i : common_blocks(part, p, peer)) {
+      const std::vector<std::size_t> common = common_blocks(part, p, peer);
+      std::size_t words = 0;
+      for (const std::size_t i : common) words += part.share(i, peer).length;
+      if (words == 0) continue;
+      simt::PooledBuffer buf = machine.pool().acquire(p, words);
+      for (const std::size_t i : common) {
         const MatShare s = part.share(i, peer);
-        const double* base = y_loc[p].at(i).data() + s.offset;
-        env.data.insert(env.data.end(), base, base + s.length);
+        buf.append(y_loc[p].at(i).data() + s.offset, s.length);
       }
-      if (!env.data.empty()) y_out[p].push_back(std::move(env));
+      y_out[p].push_back(Envelope{peer, std::move(buf)});
     }
   }
   auto y_in = machine.exchange(std::move(y_out), transport);

@@ -69,6 +69,8 @@ const char* category_name(Category c) {
       return "plan-cache";
     case Category::kEngineFlush:
       return "engine-flush";
+    case Category::kPipeline:
+      return "pipeline";
     case Category::kOther:
       return "other";
   }

@@ -47,6 +47,7 @@ enum class Category : std::uint8_t {
   kRetry,
   kPlanCache,
   kEngineFlush,
+  kPipeline,
   kOther,
 };
 

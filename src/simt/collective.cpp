@@ -1,5 +1,7 @@
 #include "simt/collective.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 
 namespace sttsv::simt {
@@ -16,8 +18,14 @@ std::vector<double> allreduce_sum(
   }
   if (L == 0) return {};
 
-  // Working copy of each rank's partial.
-  std::vector<std::vector<double>> partial(contributions);
+  // Accumulate in place instead of deep-copying all P contributions:
+  // `acc[p]` materializes (from the pool) only once rank p actually has
+  // to combine or replace its value; until then the rank's current value
+  // is its caller-owned contribution, which is never written.
+  std::vector<PooledBuffer> acc(P);
+  const auto view = [&](std::size_t p) -> const double* {
+    return acc[p].empty() ? contributions[p].data() : acc[p].data();
+  };
 
   // Binomial reduce toward rank 0: at step s, ranks with (p % 2s) == s
   // send their partial to p - s.
@@ -25,39 +33,48 @@ std::vector<double> allreduce_sum(
     std::vector<std::vector<Envelope>> out(P);
     for (std::size_t p = 0; p < P; ++p) {
       if (p % (2 * s) == s) {
-        out[p].push_back(Envelope{p - s, partial[p]});
+        PooledBuffer msg = machine.pool().acquire(p, L);
+        msg.append(view(p), L);
+        out[p].push_back(Envelope{p - s, std::move(msg)});
       }
     }
     auto in = machine.exchange(std::move(out), Transport::kPointToPoint);
     for (std::size_t p = 0; p < P; ++p) {
       for (const Delivery& d : in[p]) {
-        for (std::size_t i = 0; i < L; ++i) partial[p][i] += d.data[i];
+        if (acc[p].empty()) {
+          acc[p] = machine.pool().acquire(p, L);
+          acc[p].append(contributions[p].data(), L);
+        }
+        for (std::size_t i = 0; i < L; ++i) acc[p][i] += d.data[i];
       }
     }
   }
 
-  // Binomial broadcast from rank 0.
+  // Binomial broadcast from rank 0; receivers adopt the delivered buffer.
   std::size_t top = 1;
   while (top < P) top *= 2;
   for (std::size_t s = top / 2; s >= 1; s /= 2) {
     std::vector<std::vector<Envelope>> out(P);
     for (std::size_t p = 0; p < P; ++p) {
       if (p % (2 * s) == 0 && p + s < P) {
-        out[p].push_back(Envelope{p + s, partial[p]});
+        PooledBuffer msg = machine.pool().acquire(p, L);
+        msg.append(view(p), L);
+        out[p].push_back(Envelope{p + s, std::move(msg)});
       }
     }
     auto in = machine.exchange(std::move(out), Transport::kPointToPoint);
     for (std::size_t p = 0; p < P; ++p) {
-      for (Delivery& d : in[p]) partial[p] = std::move(d.data);
+      for (Delivery& d : in[p]) acc[p] = std::move(d.data);
     }
     if (s == 1) break;
   }
 
   // All ranks now hold the same sum.
   for (std::size_t p = 1; p < P; ++p) {
-    STTSV_DCHECK(partial[p] == partial[0], "allreduce divergence");
+    STTSV_DCHECK(std::equal(view(p), view(p) + L, view(0)),
+                 "allreduce divergence");
   }
-  return partial[0];
+  return std::vector<double>(view(0), view(0) + L);
 }
 
 }  // namespace sttsv::simt

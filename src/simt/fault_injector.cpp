@@ -35,7 +35,7 @@ bool FaultInjector::stalled(std::size_t rank) {
 
 FaultInjector::Action FaultInjector::on_frame(std::size_t from,
                                               std::size_t to,
-                                              std::vector<double>& data) {
+                                              PooledBuffer& data) {
   if (stalled(from)) {
     log_.push_back(
         {exchange_, FaultKind::kStall, from, to, data.size()});

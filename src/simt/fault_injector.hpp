@@ -34,6 +34,7 @@ class MetricsRegistry;
 namespace sttsv::simt {
 
 struct Delivery;
+class PooledBuffer;
 
 /// Per-fault-class probabilities in [0, 1], rolled independently per
 /// frame (drop, corrupt, duplicate), per sending rank per exchange
@@ -79,8 +80,7 @@ class FaultInjector {
 
   /// Rolls the fate of one frame from -> to; may flip a bit of `data`
   /// in place (corrupt). Stalled senders lose every frame this exchange.
-  Action on_frame(std::size_t from, std::size_t to,
-                  std::vector<double>& data);
+  Action on_frame(std::size_t from, std::size_t to, PooledBuffer& data);
 
   /// Possibly permutes rank's inbox (called after the by-sender sort).
   void maybe_reorder(std::size_t rank, std::vector<Delivery>& inbox);

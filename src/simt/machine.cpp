@@ -2,26 +2,42 @@
 
 #include <algorithm>
 
-#include "obs/trace.hpp"
 #include "simt/fault_injector.hpp"
 #include "simt/parallel_for.hpp"
 #include "support/check.hpp"
 
 namespace sttsv::simt {
 
-Machine::Machine(std::size_t num_ranks) : P_(num_ranks), ledger_(num_ranks) {
+Machine::Machine(std::size_t num_ranks)
+    : P_(num_ranks), ledger_(num_ranks), pool_(num_ranks == 0 ? 1 : num_ranks) {
   STTSV_REQUIRE(num_ranks >= 1, "machine needs at least one rank");
 }
 
-std::vector<std::vector<Delivery>> Machine::exchange(
-    std::vector<std::vector<Envelope>> outboxes, Transport transport) {
-  STTSV_REQUIRE(outboxes.size() == P_, "one outbox per rank required");
+Machine::ExchangeSession::ExchangeSession(Machine& machine, Transport transport)
+    : machine_(machine),
+      transport_(transport),
+      sends_per_rank_(machine.P_, 0),
+      recvs_per_rank_(machine.P_, 0) {
+  // The span's category is settled at finish(): an exchange moving no
+  // goodput is pure protocol traffic and lands on the overhead channel
+  // (kRetry) in any exported trace. Opened here, on the driver thread, so
+  // begin/close both run where the trace buffers live.
+  span_.emplace("machine.exchange", obs::Category::kExchange);
+}
+
+Machine::ExchangeSession::~ExchangeSession() { finish(); }
+
+std::vector<std::vector<Delivery>> Machine::ExchangeSession::part(
+    std::vector<std::vector<Envelope>> outboxes) {
+  STTSV_CHECK(!finished_, "exchange session already finished");
+  const std::size_t P = machine_.P_;
+  STTSV_REQUIRE(outboxes.size() == P, "one outbox per rank required");
 
   // Validate every envelope before touching the ledger or moving any
   // payload: a malformed outbox must fail with the machine state intact.
-  for (std::size_t from = 0; from < P_; ++from) {
+  for (std::size_t from = 0; from < P; ++from) {
     for (const Envelope& env : outboxes[from]) {
-      STTSV_REQUIRE(env.to < P_, "envelope destination out of range");
+      STTSV_REQUIRE(env.to < P, "envelope destination out of range");
       STTSV_REQUIRE(env.to != from,
                     "self-sends must be handled as local copies");
       STTSV_REQUIRE(env.overhead_words <= env.data.size(),
@@ -29,21 +45,18 @@ std::vector<std::vector<Delivery>> Machine::exchange(
     }
   }
 
-  if (injector_ != nullptr) injector_->begin_exchange();
+  FaultInjector* injector = machine_.injector_;
+  if (injector != nullptr && !injector_started_) {
+    // One injector epoch per logical exchange, regardless of part count:
+    // stall rolls and the injection-log window cover the whole session.
+    injector->begin_exchange();
+    injector_started_ = true;
+  }
 
-  // The span's category is settled at the end: an exchange moving no
-  // goodput is pure protocol traffic and lands on the overhead channel
-  // (kRetry) in any exported trace.
-  obs::Span span("machine.exchange", obs::Category::kExchange);
+  CommLedger& ledger = machine_.ledger_;
+  std::vector<std::vector<Delivery>> inboxes(P);
 
-  std::vector<std::vector<Delivery>> inboxes(P_);
-  std::vector<std::size_t> sends_per_rank(P_, 0);
-  std::vector<std::size_t> recvs_per_rank(P_, 0);
-  std::size_t max_pair_words = 0;
-  std::size_t total_goodput = 0;
-  std::size_t total_overhead = 0;
-
-  for (std::size_t from = 0; from < P_; ++from) {
+  for (std::size_t from = 0; from < P; ++from) {
     // Deterministic delivery order: by destination, then insertion order.
     std::stable_sort(outboxes[from].begin(), outboxes[from].end(),
                      [](const Envelope& a, const Envelope& b) {
@@ -51,25 +64,25 @@ std::vector<std::vector<Delivery>> Machine::exchange(
                      });
     for (auto& env : outboxes[from]) {
       const std::size_t goodput = env.data.size() - env.overhead_words;
-      if (goodput > 0) ledger_.record_message(from, env.to, goodput);
+      if (goodput > 0) ledger.record_message(from, env.to, goodput);
       if (env.overhead_words > 0) {
-        ledger_.record_overhead(from, env.to, env.overhead_words);
+        ledger.record_overhead(from, env.to, env.overhead_words);
       }
-      total_goodput += goodput;
-      total_overhead += env.overhead_words;
-      max_pair_words = std::max(max_pair_words, env.data.size());
+      total_goodput_ += goodput;
+      total_overhead_ += env.overhead_words;
+      max_pair_words_ = std::max(max_pair_words_, env.data.size());
       // Rounds reflect the intended schedule: a dropped frame still held
       // its slot, an injected duplicate rides along without one.
-      ++sends_per_rank[from];
-      ++recvs_per_rank[env.to];
+      ++sends_per_rank_[from];
+      ++recvs_per_rank_[env.to];
 
-      if (injector_ != nullptr) {
-        switch (injector_->on_frame(from, env.to, env.data)) {
+      if (injector != nullptr) {
+        switch (injector->on_frame(from, env.to, env.data)) {
           case FaultInjector::Action::kDrop:
             continue;  // charged, never delivered
           case FaultInjector::Action::kDuplicate:
-            ledger_.record_overhead(from, env.to, env.data.size());
-            inboxes[env.to].push_back(Delivery{from, env.data});
+            ledger.record_overhead(from, env.to, env.data.size());
+            inboxes[env.to].push_back(Delivery{from, env.data.clone()});
             break;
           case FaultInjector::Action::kDeliver:
             break;
@@ -84,47 +97,79 @@ std::vector<std::vector<Delivery>> Machine::exchange(
                        return a.from < b.from;
                      });
   }
-  if (injector_ != nullptr) {
-    for (std::size_t p = 0; p < P_; ++p) {
-      injector_->maybe_reorder(p, inboxes[p]);
+  if (injector != nullptr) {
+    for (std::size_t p = 0; p < P; ++p) {
+      injector->maybe_reorder(p, inboxes[p]);
     }
   }
+  ++parts_;
+  return inboxes;
+}
 
+void Machine::ExchangeSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (parts_ == 0) {
+    // Nothing ever flowed (the only part failed validation, or the
+    // session was abandoned): the ledger must stay untouched so the
+    // strong exception guarantee of exchange() holds.
+    span_.reset();
+    return;
+  }
+
+  CommLedger& ledger = machine_.ledger_;
   // An exchange that moves no goodput at all is pure protocol traffic
   // (ACK rounds, retransmissions): its steps are resilience overhead.
-  const bool overhead_only = total_goodput == 0 && total_overhead > 0;
-  span.set_arg(total_goodput + total_overhead);
-  if (overhead_only) span.set_category(obs::Category::kRetry);
-  switch (transport) {
+  const bool overhead_only = total_goodput_ == 0 && total_overhead_ > 0;
+  if (span_.has_value()) {
+    span_->set_arg(total_goodput_ + total_overhead_);
+    if (overhead_only) span_->set_category(obs::Category::kRetry);
+  }
+  switch (transport_) {
     case Transport::kPointToPoint: {
       // König: a bipartite multigraph with max degree Δ is Δ-edge-
       // colorable, so the exchange completes in Δ steps where
-      // Δ = max over ranks of max(#sends, #receives).
+      // Δ = max over ranks of max(#sends, #receives). The degrees are
+      // summed over every part, so a pipelined session charges exactly
+      // the rounds of the equivalent single exchange.
       std::size_t delta = 0;
-      for (std::size_t p = 0; p < P_; ++p) {
-        delta = std::max({delta, sends_per_rank[p], recvs_per_rank[p]});
+      for (std::size_t p = 0; p < machine_.P_; ++p) {
+        delta = std::max({delta, sends_per_rank_[p], recvs_per_rank_[p]});
       }
       if (overhead_only) {
-        ledger_.add_overhead_rounds(delta);
+        ledger.add_overhead_rounds(delta);
       } else {
-        ledger_.add_rounds(delta);
+        ledger.add_rounds(delta);
       }
       break;
     }
     case Transport::kAllToAll: {
       // Bandwidth-optimal All-to-All: P-1 steps, every step charged the
       // largest per-pair buffer (empty slots still occupy the schedule).
-      if (P_ > 1) {
+      if (machine_.P_ > 1) {
         if (overhead_only) {
-          ledger_.add_overhead_rounds(P_ - 1);
+          ledger.add_overhead_rounds(machine_.P_ - 1);
         } else {
-          ledger_.add_rounds(P_ - 1);
+          ledger.add_rounds(machine_.P_ - 1);
         }
-        ledger_.add_modeled_collective_words((P_ - 1) * max_pair_words);
+        ledger.add_modeled_collective_words((machine_.P_ - 1) *
+                                            max_pair_words_);
       }
       break;
     }
   }
+  span_.reset();  // closes the span
+}
+
+Machine::ExchangeSession Machine::begin_session(Transport transport) {
+  return ExchangeSession(*this, transport);
+}
+
+std::vector<std::vector<Delivery>> Machine::exchange(
+    std::vector<std::vector<Envelope>> outboxes, Transport transport) {
+  ExchangeSession session = begin_session(transport);
+  auto inboxes = session.part(std::move(outboxes));
+  session.finish();
   return inboxes;
 }
 
@@ -133,6 +178,17 @@ void Machine::run_ranks(const std::function<void(std::size_t)>& body) const {
   parallel_for(P_, [&body](std::size_t p) {
     // Attribute everything the rank program records — including the
     // kernel spans below it — to rank p's track.
+    obs::ScopedRank as_rank(p);
+    obs::Span compute("rank.compute", obs::Category::kSuperstep, p);
+    body(p);
+  });
+}
+
+void Machine::run_ranks(const std::vector<std::size_t>& ranks,
+                        const std::function<void(std::size_t)>& body) const {
+  obs::Span step("machine.run_ranks", obs::Category::kSuperstep, ranks.size());
+  parallel_for(ranks.size(), [&body, &ranks](std::size_t i) {
+    const std::size_t p = ranks[i];
     obs::ScopedRank as_rank(p);
     obs::Span compute("rank.compute", obs::Category::kSuperstep, p);
     body(p);

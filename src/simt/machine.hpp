@@ -9,6 +9,10 @@
 // The semantics (who knows what, when) are identical to the per-rank MPI
 // program, and the ledger counts exactly the words the α-β-γ model counts.
 //
+// Payloads live in PooledBuffers drawn from the machine's per-rank
+// BufferPool (DESIGN.md §12): mailbox traffic moves slabs, never copies,
+// and a steady-state superstep performs zero heap allocations.
+//
 // An optional FaultInjector (DESIGN.md §10) sits on the wire: frames may
 // be dropped, corrupted, duplicated, delayed by a stalled sender, or
 // reordered within an inbox. The ledger charges traffic at send time, so
@@ -17,8 +21,11 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <vector>
 
+#include "obs/trace.hpp"
+#include "simt/buffer_pool.hpp"
 #include "simt/ledger.hpp"
 
 namespace sttsv::simt {
@@ -31,7 +38,7 @@ class FaultInjector;
 /// channel; the rest are goodput. Raw algorithm traffic leaves it 0.
 struct Envelope {
   std::size_t to = 0;
-  std::vector<double> data;
+  PooledBuffer data;
   std::size_t overhead_words = 0;
 };
 
@@ -40,7 +47,7 @@ struct Envelope {
 /// (a fault injector may reorder them afterwards).
 struct Delivery {
   std::size_t from = 0;
-  std::vector<double> data;
+  PooledBuffer data;
 };
 
 /// How a communication phase is realized on the wire; affects the rounds
@@ -59,8 +66,59 @@ enum class Transport {
 class Machine {
  public:
   explicit Machine(std::size_t num_ranks);
+  // The pool's shard mutexes make the machine non-copyable; every use in
+  // the tree either constructs in place or returns a prvalue (guaranteed
+  // elision), so nothing is lost.
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
 
   [[nodiscard]] std::size_t num_ranks() const { return P_; }
+
+  /// One logical machine-wide exchange delivered in parts, so a driver
+  /// can put pair-block t+1 on the wire while kernels consume pair-block
+  /// t (DESIGN.md §12). Ledger accounting is deferred to finish(): sends,
+  /// receives, and per-pair maxima accumulate across parts and the
+  /// rounds/modeled-cost/overhead-only classification are computed over
+  /// their union — exactly what a single exchange() of the concatenated
+  /// outboxes would charge, which is why the pipeline leaves the ledger
+  /// bitwise unchanged.
+  class ExchangeSession {
+   public:
+    ~ExchangeSession();
+    ExchangeSession(const ExchangeSession&) = delete;
+    ExchangeSession& operator=(const ExchangeSession&) = delete;
+
+    /// Validates and delivers one partial outbox set. A validation
+    /// failure throws PreconditionError and charges nothing for the
+    /// offending part (earlier parts stay charged — they were sent).
+    std::vector<std::vector<Delivery>> part(
+        std::vector<std::vector<Envelope>> outboxes);
+
+    /// Settles rounds/modeled cost over the union of all parts. Runs at
+    /// most once; the destructor calls it as a backstop.
+    void finish();
+
+    [[nodiscard]] bool finished() const { return finished_; }
+
+   private:
+    friend class Machine;
+    ExchangeSession(Machine& machine, Transport transport);
+
+    Machine& machine_;
+    Transport transport_;
+    std::optional<obs::Span> span_;
+    bool injector_started_ = false;
+    bool finished_ = false;
+    std::size_t parts_ = 0;
+    std::vector<std::size_t> sends_per_rank_;
+    std::vector<std::size_t> recvs_per_rank_;
+    std::size_t max_pair_words_ = 0;
+    std::size_t total_goodput_ = 0;
+    std::size_t total_overhead_ = 0;
+  };
+
+  /// Opens a multi-part exchange session on this machine.
+  [[nodiscard]] ExchangeSession begin_session(Transport transport);
 
   /// Executes one machine-wide exchange: outboxes[p] holds rank p's
   /// outgoing messages. Returns inboxes[p]. Every outbox is validated
@@ -69,7 +127,8 @@ class Machine {
   /// all payloads untouched. Ledger records every word (split into
   /// goodput and overhead channels); rounds/modeled cost depend on the
   /// transport and are charged to the overhead channel when the exchange
-  /// carries no goodput at all (pure protocol traffic).
+  /// carries no goodput at all (pure protocol traffic). Equivalent to a
+  /// one-part session.
   std::vector<std::vector<Delivery>> exchange(
       std::vector<std::vector<Envelope>> outboxes, Transport transport);
 
@@ -80,8 +139,19 @@ class Machine {
   /// identical to the sequential rank-order schedule.
   void run_ranks(const std::function<void(std::size_t)>& body) const;
 
+  /// Same, over an explicit subset of ranks — the pipelined drivers run
+  /// one half-superstep per pair-block chunk.
+  void run_ranks(const std::vector<std::size_t>& ranks,
+                 const std::function<void(std::size_t)>& body) const;
+
   [[nodiscard]] const CommLedger& ledger() const { return ledger_; }
   CommLedger& ledger() { return ledger_; }
+
+  /// Message-slab arena, one shard per rank. Drivers acquire outgoing
+  /// payload buffers from the sender's shard; buffers return there when
+  /// the receiver drops them.
+  [[nodiscard]] BufferPool& pool() { return pool_; }
+  [[nodiscard]] const BufferPool& pool() const { return pool_; }
 
   /// Installs (or with nullptr removes) a wire fault injector. Non-owning;
   /// the injector must outlive its installation.
@@ -95,6 +165,7 @@ class Machine {
   std::size_t P_;
   CommLedger ledger_;
   FaultInjector* injector_ = nullptr;
+  BufferPool pool_;
 };
 
 }  // namespace sttsv::simt

@@ -1,0 +1,45 @@
+#include "simt/pipeline.hpp"
+
+namespace sttsv::simt {
+
+SerialExecutor& SerialExecutor::instance() {
+  // Function-local so the worker joins at process exit, after the last
+  // pipelined exchange but before static teardown races anything.
+  static SerialExecutor executor;
+  return executor;
+}
+
+SerialExecutor::SerialExecutor() : worker_([this]() { loop(); }) {}
+
+SerialExecutor::~SerialExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void SerialExecutor::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void SerialExecutor::loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop requested and queue drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job();  // packaged_task: exceptions land in the caller's future
+  }
+}
+
+}  // namespace sttsv::simt

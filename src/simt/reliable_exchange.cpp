@@ -67,35 +67,38 @@ struct PendingFrame {
   std::size_t from = 0;
   std::size_t to = 0;
   std::uint64_t seq = 0;
-  std::vector<double> payload;
+  PooledBuffer payload;
   bool acked = false;
   std::size_t attempts = 0;
 };
 
-std::vector<double> encode_data(const PendingFrame& f) {
+/// Wire buffers are leased from the sender's pool shard with the exact
+/// frame size, so framing neither reallocates nor over-reserves.
+PooledBuffer encode_data(BufferPool& pool, const PendingFrame& f) {
   const std::uint64_t psum =
       payload_checksum(f.payload.data(), f.payload.size());
-  std::vector<double> wire;
-  wire.reserve(kDataHeaderWords + f.payload.size());
+  PooledBuffer wire = pool.acquire(f.from, kDataHeaderWords + f.payload.size());
   wire.push_back(enc(kMagicData));
   wire.push_back(enc(f.seq));
   wire.push_back(enc(f.payload.size()));
   wire.push_back(enc(psum));
   wire.push_back(
       enc(data_header_checksum(f.seq, f.payload.size(), psum, f.from, f.to)));
-  wire.insert(wire.end(), f.payload.begin(), f.payload.end());
+  wire.append(f.payload.data(), f.payload.size());
   return wire;
 }
 
 struct DecodedData {
   std::uint64_t seq = 0;
   bool payload_ok = false;
-  std::vector<double> payload;
+  PooledBuffer payload;
 };
 
 /// False => frame unparseable (header damaged): no ACK/NACK possible, the
-/// sender recovers it via retry on the missing ACK.
-bool decode_data(const Delivery& d, std::size_t to, DecodedData& out) {
+/// sender recovers it via retry on the missing ACK. On a valid payload
+/// the delivery's buffer is stolen and the header consumed in place — the
+/// payload is never copied off the wire.
+bool decode_data(Delivery& d, std::size_t to, DecodedData& out) {
   if (d.data.size() < kDataHeaderWords) return false;
   if (dec(d.data[0]) != kMagicData) return false;
   const std::uint64_t seq = dec(d.data[1]);
@@ -109,7 +112,8 @@ bool decode_data(const Delivery& d, std::size_t to, DecodedData& out) {
   out.payload_ok =
       payload_checksum(d.data.data() + kDataHeaderWords, len) == psum;
   if (out.payload_ok) {
-    out.payload.assign(d.data.begin() + kDataHeaderWords, d.data.end());
+    out.payload = std::move(d.data);
+    out.payload.consume_front(kDataHeaderWords);
   }
   return true;
 }
@@ -119,14 +123,10 @@ struct AckEntry {
   bool ok = false;
 };
 
-std::vector<double> encode_ack(std::size_t from, std::size_t to,
-                               const std::vector<AckEntry>& entries) {
-  std::uint64_t h = kMagicAck;
-  h = mix(h, entries.size());
-  h = mix(h, from);
-  h = mix(h, to);
-  std::vector<double> wire;
-  wire.reserve(kAckHeaderWords + entries.size());
+PooledBuffer encode_ack(BufferPool& pool, std::size_t from, std::size_t to,
+                        const std::vector<AckEntry>& entries) {
+  std::uint64_t h = mix(mix(mix(kMagicAck, entries.size()), from), to);
+  PooledBuffer wire = pool.acquire(from, kAckHeaderWords + entries.size());
   wire.resize(kAckHeaderWords);
   for (const AckEntry& e : entries) {
     const std::uint64_t w = (e.seq << 1) | (e.ok ? 1ULL : 0ULL);
@@ -175,6 +175,83 @@ std::string describe(const FaultReport& report) {
 
 FaultError::FaultError(FaultReport report)
     : std::runtime_error(describe(report)), report_(std::move(report)) {}
+
+namespace {
+
+/// Default Parts: collect every part's envelopes and run one ordinary
+/// exchange() at finish(). Envelopes are concatenated per sender in part
+/// order; the exchanger's own stable sort by destination then produces
+/// the same frame order — and for ReliableExchange the same sequence
+/// numbers, checksums, injected-fault pattern and ledger — as if the
+/// caller had packed one big outbox set.
+class BufferedParts final : public Exchanger::Parts {
+ public:
+  BufferedParts(Exchanger& exchanger, Transport transport)
+      : exchanger_(exchanger), transport_(transport) {}
+
+  std::vector<std::vector<Delivery>> part(
+      std::vector<std::vector<Envelope>> outboxes) override {
+    STTSV_CHECK(!finished_, "exchange parts already finished");
+    if (merged_.empty()) {
+      merged_ = std::move(outboxes);
+    } else {
+      STTSV_REQUIRE(outboxes.size() == merged_.size(),
+                    "every part needs one outbox per rank");
+      for (std::size_t p = 0; p < merged_.size(); ++p) {
+        for (Envelope& env : outboxes[p]) {
+          merged_[p].push_back(std::move(env));
+        }
+      }
+    }
+    return {};
+  }
+
+  std::vector<std::vector<Delivery>> finish() override {
+    STTSV_CHECK(!finished_, "exchange parts already finished");
+    finished_ = true;
+    if (merged_.empty()) return {};
+    return exchanger_.exchange(std::move(merged_), transport_);
+  }
+
+ private:
+  Exchanger& exchanger_;
+  Transport transport_;
+  std::vector<std::vector<Envelope>> merged_;
+  bool finished_ = false;
+};
+
+/// DirectExchange Parts: a live Machine::ExchangeSession, so each part
+/// hits the wire (and the ledger's word counters) as soon as it is
+/// produced while rounds settle over the union at finish().
+class DirectParts final : public Exchanger::Parts {
+ public:
+  DirectParts(Machine& machine, Transport transport)
+      : session_(machine.begin_session(transport)) {}
+
+  std::vector<std::vector<Delivery>> part(
+      std::vector<std::vector<Envelope>> outboxes) override {
+    return session_.part(std::move(outboxes));
+  }
+
+  std::vector<std::vector<Delivery>> finish() override {
+    session_.finish();
+    return {};
+  }
+
+ private:
+  Machine::ExchangeSession session_;
+};
+
+}  // namespace
+
+std::unique_ptr<Exchanger::Parts> Exchanger::begin_parts(Transport transport) {
+  return std::make_unique<BufferedParts>(*this, transport);
+}
+
+std::unique_ptr<Exchanger::Parts> DirectExchange::begin_parts(
+    Transport transport) {
+  return std::make_unique<DirectParts>(machine_, transport);
+}
 
 ReliableExchange::ReliableExchange(Machine& machine, RetryPolicy retry,
                                    RecoveryPolicy recovery)
@@ -235,7 +312,7 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
   struct Accepted {
     std::size_t from = 0;
     std::uint64_t seq = 0;
-    std::vector<double> payload;
+    PooledBuffer payload;
   };
   std::vector<std::vector<Accepted>> accepted(P);
   std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
@@ -243,7 +320,7 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
 
   auto accept_frame = [&](std::size_t receiver, std::size_t sender,
                           std::uint64_t seq,
-                          std::vector<double>&& payload) -> bool {
+                          PooledBuffer&& payload) -> bool {
     auto& seen = accepted_seqs[pair_id(sender, receiver)];
     if (seen.contains(seq)) {
       ++stats_.duplicate_frames_ignored;
@@ -266,7 +343,7 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
       if (!first) ++stats_.retransmitted_frames;
       Envelope env;
       env.to = f.to;
-      env.data = encode_data(f);
+      env.data = encode_data(machine_.pool(), f);
       // The payload is goodput exactly once, on its first transmission;
       // headers always — and whole retransmissions — are overhead.
       env.overhead_words = first ? kDataHeaderWords : env.data.size();
@@ -306,7 +383,7 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
       for (const auto& [sender, entries] : acks[r]) {
         Envelope env;
         env.to = sender;
-        env.data = encode_ack(r, sender, entries);
+        env.data = encode_ack(machine_.pool(), r, sender, entries);
         env.overhead_words = env.data.size();
         ack_out[r].push_back(std::move(env));
         ++stats_.ack_frames;
@@ -400,7 +477,7 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
       const PendingFrame& f = frames[idx];
       Envelope env;
       env.to = f.to;
-      env.data = encode_data(f);
+      env.data = encode_data(machine_.pool(), f);
       env.overhead_words = env.data.size();
       replay_out[f.from].push_back(std::move(env));
     }

@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -56,9 +57,32 @@ class Exchanger {
   virtual std::vector<std::vector<Delivery>> exchange(
       std::vector<std::vector<Envelope>> outboxes, Transport transport) = 0;
 
-  /// Label recorded in FaultReports for exchanges that follow; lets the
-  /// driver name its phases ("x-shares", "y-partials"). Default: ignored.
-  virtual void set_phase(const char* /*phase*/) {}
+  /// One logical exchange fed in parts, the seam the pipelined drivers
+  /// overlap on (DESIGN.md §12). Each part() hands over a partial outbox
+  /// set (every envelope exactly once across all parts); finish() ends
+  /// the logical exchange and returns any deliveries the protocol
+  /// deferred. Ledger totals are identical to one exchange() of the
+  /// concatenated outboxes.
+  class Parts {
+   public:
+    virtual ~Parts() = default;
+    virtual std::vector<std::vector<Delivery>> part(
+        std::vector<std::vector<Envelope>> outboxes) = 0;
+    virtual std::vector<std::vector<Delivery>> finish() = 0;
+  };
+
+  /// Opens a multi-part logical exchange. The default implementation
+  /// buffers every part and runs one exchange() at finish() — protocol
+  /// exchangers (ReliableExchange) keep their wire behaviour, sequence
+  /// numbers, and fault consumption bit-identical to the serialized
+  /// path. DirectExchange overrides it with a true streaming machine
+  /// session so parts hit the wire as they are produced. An abandoned
+  /// Parts (destroyed unfinished) discards buffered traffic.
+  [[nodiscard]] virtual std::unique_ptr<Parts> begin_parts(
+      Transport transport);
+
+  /// Labels subsequent exchanges for FaultReports; no-op by default.
+  virtual void set_phase(const char* phase) { (void)phase; }
 
   [[nodiscard]] Machine& machine() const { return machine_; }
 
@@ -75,6 +99,9 @@ class DirectExchange final : public Exchanger {
       Transport transport) override {
     return machine_.exchange(std::move(outboxes), transport);
   }
+  /// Streams parts through one Machine::ExchangeSession.
+  [[nodiscard]] std::unique_ptr<Parts> begin_parts(
+      Transport transport) override;
 };
 
 /// Bounded retry with exponential backoff: attempt k >= 1 waits

@@ -58,6 +58,28 @@ TEST(Allreduce, LogarithmicWordsPerRank) {
   EXPECT_LE(machine.ledger().max_words_sent(), 2 * 6);
 }
 
+TEST(Allreduce, DoesNotMutateContributions) {
+  // The in-place tree reduction must accumulate into pool-backed copies,
+  // never into the caller's contribution vectors: callers reuse them
+  // (HOPM re-submits norms across iterations) and aliasing would fold
+  // partial sums back into later rounds.
+  for (const std::size_t P : {2u, 5u, 8u}) {
+    simt::Machine machine(P);
+    std::vector<std::vector<double>> contributions(P);
+    for (std::size_t p = 0; p < P; ++p) {
+      contributions[p] = {static_cast<double>(p) + 0.25, -1.0,
+                          static_cast<double>(p * 3)};
+    }
+    const auto before = contributions;
+    const auto once = simt::allreduce_sum(machine, contributions);
+    EXPECT_EQ(contributions, before);
+    // Re-running with the untouched inputs must reproduce the sum bitwise.
+    const auto twice = simt::allreduce_sum(machine, contributions);
+    EXPECT_EQ(once, twice);
+    EXPECT_EQ(contributions, before);
+  }
+}
+
 TEST(DistributedVector, ScatterGatherRoundTrip) {
   const auto part =
       partition::TetraPartition::build(steiner::spherical_system(2));
