@@ -32,6 +32,7 @@
 #include "obs/trace.hpp"
 #include "repro_common.hpp"
 #include "simt/machine.hpp"
+#include "simt/simd.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
@@ -137,6 +138,8 @@ int main(int argc, char** argv) {
 
   repro::banner(quick ? "Batched STTSV engine (quick smoke sweep)"
                       : "Batched STTSV engine (panel sweep, n = 256)");
+  std::cout << "kernel ISA: " << simt::isa_name(simt::preferred_isa())
+            << " (cpu: " << simt::cpu_features_string() << ")\n";
   repro::Checker check;
 
   const std::size_t q = 2;

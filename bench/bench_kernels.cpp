@@ -13,11 +13,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/block_kernels.hpp"
+#include "core/kernel_autotune.hpp"
 #include "core/parallel_sttsv.hpp"
 #include "core/sttsv_seq.hpp"
 #include "core/sttv_d.hpp"
@@ -211,13 +213,17 @@ struct ClassTiming {
   std::size_t blocks = 0;
   std::uint64_t entries = 0;
   std::uint64_t mults = 0;
+  std::uint64_t compressed_mults = 0;  // 0 when not measured
   double seed_s = 0.0;
-  double spec_s = 0.0;
+  double spec_s = 0.0;        // current kernel options (ISA + tuning)
+  double scalar_s = 0.0;      // same options pinned to the scalar ISA
+  double compressed_s = 0.0;  // interior only; 0 elsewhere
 };
 
 /// Applies `kernel` once to every block of `blocks` (the usual padded
 /// tiling buffers) and returns elapsed seconds.
-double time_class_once(KernelFn kernel, const tensor::SymTensor3& a,
+template <typename Kernel>
+double time_class_once(Kernel&& kernel, const tensor::SymTensor3& a,
                        const std::vector<partition::BlockCoord>& blocks,
                        std::size_t b, std::vector<double>& x_pad,
                        std::vector<double>& y_pad) {
@@ -238,17 +244,22 @@ double time_class_once(KernelFn kernel, const tensor::SymTensor3& a,
 }
 
 /// Repeats a timed thunk until it has run >= min_total seconds (at least
-/// `min_reps` times) and returns seconds per repetition.
+/// `min_reps` times) and returns the fastest repetition. Minimum, not
+/// mean: on a shared host the distribution is the kernel's true time
+/// plus one-sided scheduler noise, so the min is the robust estimator.
 template <typename F>
 double time_per_rep(F&& thunk, double min_total = 0.08, int min_reps = 3) {
   (void)thunk();  // warm-up
   double total = 0.0;
+  double best = 0.0;
   int reps = 0;
   while (reps < min_reps || total < min_total) {
-    total += thunk();
+    const double s = thunk();
+    total += s;
+    if (reps == 0 || s < best) best = s;
     ++reps;
   }
-  return total / reps;
+  return best;
 }
 
 /// Seed-vs-specialized timings for every block class of an m=4 tiling of
@@ -293,6 +304,48 @@ std::vector<ClassTiming> sweep_block_classes(std::size_t n) {
     t.spec_s = time_per_rep([&] {
       return time_class_once(core::apply_block, a, blocks, b, x_pad, y_pad);
     });
+    // The same tuned shapes pinned to the portable scalar ISA, so the
+    // artifact records the vectorization gain separately from the
+    // class-specialization gain.
+    core::KernelOptions scalar_opts = core::kernel_options();
+    scalar_opts.isa = simt::KernelIsa::kScalar;
+    const auto scalar_kernel = [&](const tensor::SymTensor3& ten,
+                                   const partition::BlockCoord& c,
+                                   std::size_t bb,
+                                   const core::BlockBuffers& buf) {
+      return core::apply_block_ex(ten, c, bb, buf, scalar_opts);
+    };
+    std::fill(y_pad.begin(), y_pad.end(), 0.0);
+    t.scalar_s = time_per_rep([&] {
+      return time_class_once(scalar_kernel, a, blocks, b, x_pad, y_pad);
+    });
+    if (t.cls == "interior") {
+      // Opt-in symmetry-compressed bilinear math (DESIGN.md §13.4) —
+      // reassociating, so it is benchmarked but never the default.
+      core::KernelOptions comp_opts = core::kernel_options();
+      comp_opts.math = core::KernelMath::kCompressed;
+      const auto comp_kernel = [&](const tensor::SymTensor3& ten,
+                                   const partition::BlockCoord& c,
+                                   std::size_t bb,
+                                   const core::BlockBuffers& buf) {
+        return core::apply_block_ex(ten, c, bb, buf, comp_opts);
+      };
+      std::fill(y_pad.begin(), y_pad.end(), 0.0);
+      for (const auto& c : blocks) {
+        core::BlockBuffers buf;
+        buf.x[0] = x_pad.data() + c.i * b;
+        buf.x[1] = x_pad.data() + c.j * b;
+        buf.x[2] = x_pad.data() + c.k * b;
+        buf.y[0] = y_pad.data() + c.i * b;
+        buf.y[1] = y_pad.data() + c.j * b;
+        buf.y[2] = y_pad.data() + c.k * b;
+        t.compressed_mults += comp_kernel(a, c, b, buf);
+      }
+      std::fill(y_pad.begin(), y_pad.end(), 0.0);
+      t.compressed_s = time_per_rep([&] {
+        return time_class_once(comp_kernel, a, blocks, b, x_pad, y_pad);
+      });
+    }
     out.push_back(t);
   }
   return out;
@@ -358,17 +411,30 @@ ExecutorTiming sweep_executor(std::size_t q, std::size_t n) {
   return t;
 }
 
-void write_json(const char* path) {
+void write_json(const char* path, bool tuned) {
   std::ofstream out(path);
   repro::JsonWriter w(out);
+  const core::KernelOptions opts = core::kernel_options();
   w.begin_object();
   w.field("bench", "bench_kernels");
   w.field("flops_per_ternary_mult", std::uint64_t{2});
+  w.field("kernel_isa", simt::isa_name(simt::preferred_isa()));
+  w.field("cpu_features", simt::cpu_features_string());
+  w.field("simd_compiled", simt::simd_compiled());
+  w.field("tuned", tuned);
+  w.field("rj_interior", static_cast<std::uint64_t>(opts.rj_interior));
+  w.field("rj_face_ij", static_cast<std::uint64_t>(opts.rj_face_ij));
   w.begin_array("block_classes");
   for (const std::size_t n : {96u, 192u, 256u, 384u}) {
     for (const ClassTiming& t : sweep_block_classes(n)) {
       const double mults = static_cast<double>(t.mults);
       const double entries = static_cast<double>(t.entries);
+      // Roofline coordinates: each packed entry is an 8-byte load and
+      // contributes its class's multiplications at 2 flops each; x/y
+      // block traffic is O(b²) against O(b³) tensor reads and is left
+      // out. flops/byte ≈ 0.75 for all classes — far below any FP
+      // roofline, i.e. the kernels live on the memory-bound slope.
+      const double bytes = 8.0 * entries;
       w.begin_object();
       w.field("n", static_cast<std::uint64_t>(n));
       w.field("b", static_cast<std::uint64_t>((n + 3) / 4));
@@ -378,11 +444,20 @@ void write_json(const char* path) {
       w.field("ternary_mults", t.mults);
       w.field("seed_seconds", t.seed_s);
       w.field("specialized_seconds", t.spec_s);
+      w.field("scalar_seconds", t.scalar_s);
       w.field("seed_entries_per_s", entries / t.seed_s);
       w.field("specialized_entries_per_s", entries / t.spec_s);
       w.field("seed_gflops", 2.0 * mults / t.seed_s / 1e9);
       w.field("specialized_gflops", 2.0 * mults / t.spec_s / 1e9);
+      w.field("tensor_bytes", bytes);
+      w.field("flops_per_byte", 2.0 * mults / bytes);
+      w.field("specialized_gbytes_per_s", bytes / t.spec_s / 1e9);
       w.field("speedup", t.seed_s / t.spec_s);
+      w.field("simd_speedup", t.scalar_s / t.spec_s);
+      if (t.compressed_s > 0.0) {
+        w.field("compressed_seconds", t.compressed_s);
+        w.field("compressed_ternary_mults", t.compressed_mults);
+      }
       w.end_object();
     }
   }
@@ -429,10 +504,46 @@ void write_json(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `--tune` is ours, not google-benchmark's: strip it before Initialize.
+  bool tune = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tune") == 0) {
+      tune = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  std::cout << "kernel ISA   : " << simt::isa_name(simt::preferred_isa())
+            << " (compiled-in SIMD: " << (simt::simd_compiled() ? "yes" : "no")
+            << ")\n"
+            << "cpu features : " << simt::cpu_features_string() << "\n";
+  if (tune) {
+    const auto cal = core::autotune_kernels();
+    std::cout << "autotune (b=" << cal.b << ", isa=" << simt::isa_name(cal.isa)
+              << "):\n";
+    const auto show = [](const char* cls,
+                         const std::vector<core::ShapeTiming>& shapes,
+                         unsigned winner) {
+      std::cout << "  " << cls << " :";
+      for (const auto& s : shapes) {
+        std::cout << " rj=" << static_cast<unsigned>(s.rj) << " "
+                  << s.seconds * 1e6 << "us";
+      }
+      std::cout << "  -> rj=" << winner << "\n";
+    };
+    show("interior", cal.interior, cal.rj_interior);
+    show("face_ij ", cal.face_ij, cal.rj_face_ij);
+  }
+  const core::KernelOptions opts = core::kernel_options();
+  std::cout << "reg blocking : rj_interior="
+            << static_cast<unsigned>(opts.rj_interior)
+            << " rj_face_ij=" << static_cast<unsigned>(opts.rj_face_ij)
+            << (tune ? " (autotuned)" : " (defaults)") << "\n";
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  write_json("BENCH_kernels.json");
+  write_json("BENCH_kernels.json", tune);
   return 0;
 }

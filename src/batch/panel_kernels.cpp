@@ -1,301 +1,45 @@
 #include "batch/panel_kernels.hpp"
 
 #include <algorithm>
-#include <type_traits>
 
+#include "batch/panel_kernels_impl.hpp"
 #include "obs/trace.hpp"
 #include "support/check.hpp"
 
-#define STTSV_RESTRICT __restrict__
+// Portable instantiation of the panel kernels (VecScalar). Compiled with
+// -ffp-contract=off — see the bitwise contract in panel_kernels_impl.hpp.
 
 namespace sttsv::batch {
 
 namespace {
 
-/// Packed offset of the row (gi, gj, *): data[row + gk] is a_{gi,gj,gk}.
-inline std::size_t row_base(std::size_t gi, std::size_t gj) {
-  return gi * (gi + 1) * (gi + 2) / 6 + gj * (gj + 1) / 2;
+using detail::PanelVTable;
+
+const PanelVTable& scalar_vtable() {
+  static const PanelVTable t =
+      detail::make_panel_vtable<simt::simd::VecScalar>();
+  return t;
 }
 
-// Each kernel below processes L lanes of the panel (pointers pre-offset
-// to the chunk's first lane; element l of chunk-lane t is at l*stride+t)
-// and performs, per lane, exactly the operation sequence of the
-// corresponding single-vector kernel in core/block_kernels.cpp — the
-// bitwise-identity contract of apply_block_panel. L is a compile-time
-// constant so the per-lane accumulators live in registers.
-
-template <std::size_t L>
-void interior_panel(const double* STTSV_RESTRICT data, std::size_t i0,
-                    std::size_t i_end, std::size_t j0, std::size_t j_end,
-                    std::size_t k0, std::size_t k_end,
-                    const double* STTSV_RESTRICT xi,
-                    const double* STTSV_RESTRICT xj,
-                    const double* STTSV_RESTRICT xk,
-                    double* STTSV_RESTRICT yi, double* STTSV_RESTRICT yj,
-                    double* STTSV_RESTRICT yk, std::size_t stride) {
-  const std::size_t kb = k_end - k0;
-  for (std::size_t gi = i0; gi < i_end; ++gi) {
-    const std::size_t li = gi - i0;
-    double xiv[L], yi_row[L];
-    for (std::size_t t = 0; t < L; ++t) {
-      xiv[t] = xi[li * stride + t];
-      yi_row[t] = 0.0;
-    }
-    for (std::size_t gj = j0; gj < j_end; ++gj) {
-      const std::size_t lj = gj - j0;
-      const double* STTSV_RESTRICT row = data + row_base(gi, gj) + k0;
-      double xjv[L], cij[L], acc[L];
-      for (std::size_t t = 0; t < L; ++t) {
-        xjv[t] = xj[lj * stride + t];
-        cij[t] = 2.0 * xiv[t] * xjv[t];
-        acc[t] = 0.0;
-      }
-      for (std::size_t lk = 0; lk < kb; ++lk) {
-        const double v = row[lk];
-        double* STTSV_RESTRICT yk_l = yk + lk * stride;
-        const double* STTSV_RESTRICT xk_l = xk + lk * stride;
-        for (std::size_t t = 0; t < L; ++t) {
-          acc[t] += v * xk_l[t];
-          yk_l[t] += cij[t] * v;
-        }
-      }
-      for (std::size_t t = 0; t < L; ++t) {
-        yi_row[t] += xjv[t] * acc[t];
-        yj[lj * stride + t] += 2.0 * xiv[t] * acc[t];
-      }
-    }
-    for (std::size_t t = 0; t < L; ++t) {
-      yi[li * stride + t] += 2.0 * yi_row[t];
-    }
+const PanelVTable& vtable_for(simt::KernelIsa isa) {
+#ifdef STTSV_HAVE_AVX2_KERNELS
+  if (isa == simt::KernelIsa::kAvx2 && simt::cpu_features().avx2 &&
+      simt::cpu_features().fma) {
+    return detail::avx2_panel_vtable();
   }
-}
-
-template <std::size_t L>
-void face_ij_panel(const double* STTSV_RESTRICT data, std::size_t i0,
-                   std::size_t i_end, std::size_t k0, std::size_t k_end,
-                   const double* STTSV_RESTRICT xij,
-                   const double* STTSV_RESTRICT xk,
-                   double* STTSV_RESTRICT yij, double* STTSV_RESTRICT yk,
-                   std::size_t stride) {
-  const std::size_t kb = k_end - k0;
-  for (std::size_t gi = i0; gi < i_end; ++gi) {
-    const std::size_t li = gi - i0;
-    double xiv[L], yi_row[L];
-    for (std::size_t t = 0; t < L; ++t) {
-      xiv[t] = xij[li * stride + t];
-      yi_row[t] = 0.0;
-    }
-    for (std::size_t gj = i0; gj < gi; ++gj) {
-      const std::size_t lj = gj - i0;
-      const double* STTSV_RESTRICT row = data + row_base(gi, gj) + k0;
-      double xjv[L], cij[L], acc[L];
-      for (std::size_t t = 0; t < L; ++t) {
-        xjv[t] = xij[lj * stride + t];
-        cij[t] = 2.0 * xiv[t] * xjv[t];
-        acc[t] = 0.0;
-      }
-      for (std::size_t lk = 0; lk < kb; ++lk) {
-        const double v = row[lk];
-        double* STTSV_RESTRICT yk_l = yk + lk * stride;
-        const double* STTSV_RESTRICT xk_l = xk + lk * stride;
-        for (std::size_t t = 0; t < L; ++t) {
-          acc[t] += v * xk_l[t];
-          yk_l[t] += cij[t] * v;
-        }
-      }
-      for (std::size_t t = 0; t < L; ++t) {
-        yi_row[t] += xjv[t] * acc[t];
-        yij[lj * stride + t] += 2.0 * xiv[t] * acc[t];
-      }
-    }
-    // gj == gi diagonal row, hoisted exactly as in the single kernel.
-    const double* STTSV_RESTRICT row = data + row_base(gi, gi) + k0;
-    double cii[L], acc[L];
-    for (std::size_t t = 0; t < L; ++t) {
-      cii[t] = xiv[t] * xiv[t];
-      acc[t] = 0.0;
-    }
-    for (std::size_t lk = 0; lk < kb; ++lk) {
-      const double v = row[lk];
-      double* STTSV_RESTRICT yk_l = yk + lk * stride;
-      const double* STTSV_RESTRICT xk_l = xk + lk * stride;
-      for (std::size_t t = 0; t < L; ++t) {
-        acc[t] += v * xk_l[t];
-        yk_l[t] += cii[t] * v;
-      }
-    }
-    for (std::size_t t = 0; t < L; ++t) {
-      yij[li * stride + t] += 2.0 * (yi_row[t] + xiv[t] * acc[t]);
-    }
-  }
-}
-
-template <std::size_t L>
-void face_jk_panel(const double* STTSV_RESTRICT data, std::size_t i0,
-                   std::size_t i_end, std::size_t j0, std::size_t j_end,
-                   const double* STTSV_RESTRICT xi,
-                   const double* STTSV_RESTRICT xjk,
-                   double* STTSV_RESTRICT yi, double* STTSV_RESTRICT yjk,
-                   std::size_t stride) {
-  for (std::size_t gi = i0; gi < i_end; ++gi) {
-    const std::size_t li = gi - i0;
-    const std::size_t gi_base = gi * (gi + 1) * (gi + 2) / 6;
-    double xiv[L], yi_row[L];
-    for (std::size_t t = 0; t < L; ++t) {
-      xiv[t] = xi[li * stride + t];
-      yi_row[t] = 0.0;
-    }
-    for (std::size_t gj = j0; gj < j_end; ++gj) {
-      const std::size_t lj = gj - j0;
-      const double* STTSV_RESTRICT row =
-          data + gi_base + gj * (gj + 1) / 2 + j0;
-      double xjv[L], cij[L], acc[L];
-      for (std::size_t t = 0; t < L; ++t) {
-        xjv[t] = xjk[lj * stride + t];
-        cij[t] = 2.0 * xiv[t] * xjv[t];
-        acc[t] = 0.0;
-      }
-      for (std::size_t lk = 0; lk < lj; ++lk) {
-        const double v = row[lk];
-        double* STTSV_RESTRICT yjk_l = yjk + lk * stride;
-        const double* STTSV_RESTRICT xjk_l = xjk + lk * stride;
-        for (std::size_t t = 0; t < L; ++t) {
-          acc[t] += v * xjk_l[t];
-          yjk_l[t] += cij[t] * v;
-        }
-      }
-      // gk == gj tail, hoisted exactly as in the single kernel.
-      const double vt = row[lj];
-      for (std::size_t t = 0; t < L; ++t) {
-        yi_row[t] += 2.0 * xjv[t] * acc[t] + vt * xjv[t] * xjv[t];
-        yjk[lj * stride + t] +=
-            2.0 * xiv[t] * acc[t] + 2.0 * vt * xiv[t] * xjv[t];
-      }
-    }
-    for (std::size_t t = 0; t < L; ++t) {
-      yi[li * stride + t] += yi_row[t];
-    }
-  }
-}
-
-/// Element-wise panel kernel for central diagonal blocks: the lane loop
-/// sits inside the per-element multiplicity branches, so each lane
-/// replays core::apply_block_generic exactly.
-std::uint64_t generic_panel(const tensor::SymTensor3& a,
-                            const partition::BlockCoord& c, std::size_t b,
-                            std::size_t lanes, const PanelBuffers& buf) {
-  const std::size_t n = a.dim();
-  const double* data = a.data();
-  const std::size_t i0 = c.i * b;
-  const std::size_t j0 = c.j * b;
-  const std::size_t k0 = c.k * b;
-  const std::size_t i_end = std::min(i0 + b, n);
-  const std::size_t j_end = std::min(j0 + b, n);
-  const std::size_t k_end = std::min(k0 + b, n);
-
-  const bool ij_same_block = (c.i == c.j);
-  const bool jk_same_block = (c.j == c.k);
-  const double* xi = buf.x[0];
-  const double* xj = buf.x[1];
-  const double* xk = buf.x[2];
-  double* yi = buf.y[0];
-  double* yj = buf.y[1];
-  double* yk = buf.y[2];
-
-  std::uint64_t count = 0;
-  for (std::size_t gi = i0; gi < i_end; ++gi) {
-    const std::size_t li = gi - i0;
-    const std::size_t gj_end = ij_same_block ? std::min(gi + 1, j_end) : j_end;
-    for (std::size_t gj = j0; gj < gj_end; ++gj) {
-      const std::size_t lj = gj - j0;
-      const std::size_t row = row_base(gi, gj);
-      const std::size_t gk_end =
-          jk_same_block ? std::min(gj + 1, k_end) : k_end;
-      if (gi != gj) {
-        std::size_t gk = k0;
-        const std::size_t strict_end = std::min(gk_end, gj);
-        for (; gk < strict_end; ++gk) {
-          const double v = data[row + gk];
-          const std::size_t lk = gk - k0;
-          for (std::size_t t = 0; t < lanes; ++t) {
-            const double xjv = xj[lj * lanes + t];
-            const double xkv = xk[lk * lanes + t];
-            const double xiv = xi[li * lanes + t];
-            yi[li * lanes + t] += 2.0 * v * xjv * xkv;
-            yj[lj * lanes + t] += 2.0 * v * xiv * xkv;
-            yk[lk * lanes + t] += 2.0 * v * xiv * xjv;
-          }
-          count += 3 * lanes;
-        }
-        if (gk < gk_end && gk == gj) {
-          const double v = data[row + gk];
-          const std::size_t lk = gk - k0;
-          for (std::size_t t = 0; t < lanes; ++t) {
-            const double xjv = xj[lj * lanes + t];
-            const double xkv = xk[lk * lanes + t];
-            const double xiv = xi[li * lanes + t];
-            yi[li * lanes + t] += v * xjv * xkv;
-            yj[lj * lanes + t] += 2.0 * v * xiv * xkv;
-          }
-          count += 2 * lanes;
-        }
-      } else {
-        std::size_t gk = k0;
-        const std::size_t strict_end = std::min(gk_end, gj);
-        for (; gk < strict_end; ++gk) {
-          const double v = data[row + gk];
-          const std::size_t lk = gk - k0;
-          for (std::size_t t = 0; t < lanes; ++t) {
-            const double xjv = xj[lj * lanes + t];
-            const double xkv = xk[lk * lanes + t];
-            const double xiv = xi[li * lanes + t];
-            yi[li * lanes + t] += 2.0 * v * xjv * xkv;
-            yk[lk * lanes + t] += v * xiv * xjv;
-          }
-          count += 2 * lanes;
-        }
-        if (gk < gk_end && gk == gj) {
-          const double v = data[row + gk];
-          const std::size_t lk = gk - k0;
-          for (std::size_t t = 0; t < lanes; ++t) {
-            yi[li * lanes + t] += v * xj[lj * lanes + t] * xk[lk * lanes + t];
-          }
-          count += lanes;
-        }
-      }
-    }
-  }
-  return count;
-}
-
-/// Invokes chunk(v0, L) over the lane range in register-blocked pieces.
-template <typename Chunk>
-void for_lane_chunks(std::size_t lanes, const Chunk& chunk) {
-  std::size_t v0 = 0;
-  while (v0 < lanes) {
-    const std::size_t left = lanes - v0;
-    if (left >= 8) {
-      chunk(v0, std::integral_constant<std::size_t, 8>{});
-      v0 += 8;
-    } else if (left >= 4) {
-      chunk(v0, std::integral_constant<std::size_t, 4>{});
-      v0 += 4;
-    } else if (left >= 2) {
-      chunk(v0, std::integral_constant<std::size_t, 2>{});
-      v0 += 2;
-    } else {
-      chunk(v0, std::integral_constant<std::size_t, 1>{});
-      v0 += 1;
-    }
-  }
+#else
+  (void)isa;
+#endif
+  return scalar_vtable();
 }
 
 }  // namespace
 
-std::uint64_t apply_block_panel(const tensor::SymTensor3& a,
-                                const partition::BlockCoord& c,
-                                std::size_t b, std::size_t lanes,
-                                const PanelBuffers& buf) {
+std::uint64_t apply_block_panel_isa(const tensor::SymTensor3& a,
+                                    const partition::BlockCoord& c,
+                                    std::size_t b, std::size_t lanes,
+                                    const PanelBuffers& buf,
+                                    simt::KernelIsa isa) {
   STTSV_REQUIRE(c.i >= c.j && c.j >= c.k, "block coordinate must be sorted");
   STTSV_REQUIRE(lanes >= 1, "panel needs at least one lane");
   for (int s = 0; s < 3; ++s) {
@@ -312,42 +56,78 @@ std::uint64_t apply_block_panel(const tensor::SymTensor3& a,
   const std::size_t k_end = std::min(k0 + b, n);
 
   obs::Span span("kernel.panel", obs::Category::kKernel);
+  const PanelVTable& vt = vtable_for(isa);
+  constexpr std::size_t kW = simt::simd::kLanes;
+
+  // Walk the panel in vector-width lane chunks; the last chunk may be a
+  // masked partial one. Chunks are independent (lane arithmetic never
+  // crosses lanes), so the order is irrelevant to the bitwise contract.
+  const auto for_chunks = [&](const auto& full, const auto& part) {
+    std::size_t v0 = 0;
+    for (; v0 + kW <= lanes; v0 += kW) full(v0);
+    if (v0 < lanes) part(v0, lanes - v0);
+  };
+
   std::uint64_t mults = 0;
   if (c.i > c.j && c.j > c.k) {
-    for_lane_chunks(lanes, [&](std::size_t v0, auto width) {
-      interior_panel<decltype(width)::value>(
-          a.data(), i0, i_end, j0, j_end, k0, k_end, buf.x[0] + v0,
-          buf.x[1] + v0, buf.x[2] + v0, buf.y[0] + v0, buf.y[1] + v0,
-          buf.y[2] + v0, lanes);
-    });
+    const auto run = [&](auto fn, std::size_t v0, std::size_t m) {
+      fn(a.data(), i0, i_end, j0, j_end, k0, k_end, buf.x[0] + v0,
+         buf.x[1] + v0, buf.x[2] + v0, buf.y[0] + v0, buf.y[1] + v0,
+         buf.y[2] + v0, lanes, m);
+    };
+    for_chunks([&](std::size_t v0) { run(vt.interior_full, v0, kW); },
+               [&](std::size_t v0, std::size_t m) {
+                 run(vt.interior_part, v0, m);
+               });
     mults = 3 * static_cast<std::uint64_t>(i_end - i0) * (j_end - j0) *
             (k_end - k0) * lanes;
   } else if (c.i == c.j && c.j > c.k) {
     // Slots 0 and 1 view the same row block (aliased by contract).
-    for_lane_chunks(lanes, [&](std::size_t v0, auto width) {
-      face_ij_panel<decltype(width)::value>(a.data(), i0, i_end, k0, k_end,
-                                            buf.x[0] + v0, buf.x[2] + v0,
-                                            buf.y[0] + v0, buf.y[2] + v0,
-                                            lanes);
-    });
+    const auto run = [&](auto fn, std::size_t v0, std::size_t m) {
+      fn(a.data(), i0, i_end, k0, k_end, buf.x[0] + v0, buf.x[2] + v0,
+         buf.y[0] + v0, buf.y[2] + v0, lanes, m);
+    };
+    for_chunks([&](std::size_t v0) { run(vt.face_ij_full, v0, kW); },
+               [&](std::size_t v0, std::size_t m) {
+                 run(vt.face_ij_part, v0, m);
+               });
     const std::uint64_t ni = i_end - i0;
     mults = (k_end - k0) * (3 * (ni * (ni - 1) / 2) + 2 * ni) * lanes;
   } else if (c.i > c.j && c.j == c.k) {
     // Slots 1 and 2 view the same row block (aliased by contract).
-    for_lane_chunks(lanes, [&](std::size_t v0, auto width) {
-      face_jk_panel<decltype(width)::value>(a.data(), i0, i_end, j0, j_end,
-                                            buf.x[0] + v0, buf.x[1] + v0,
-                                            buf.y[0] + v0, buf.y[1] + v0,
-                                            lanes);
-    });
+    const auto run = [&](auto fn, std::size_t v0, std::size_t m) {
+      fn(a.data(), i0, i_end, j0, j_end, buf.x[0] + v0, buf.x[1] + v0,
+         buf.y[0] + v0, buf.y[1] + v0, lanes, m);
+    };
+    for_chunks([&](std::size_t v0) { run(vt.face_jk_full, v0, kW); },
+               [&](std::size_t v0, std::size_t m) {
+                 run(vt.face_jk_part, v0, m);
+               });
     const std::uint64_t ni = i_end - i0;
     const std::uint64_t nj = j_end - j0;
     mults = ni * (3 * (nj * (nj - 1) / 2) + 2 * nj) * lanes;
   } else {
-    mults = generic_panel(a, c, b, lanes, buf);
+    // Central diagonal block: all three slots alias one panel pair.
+    const auto run = [&](auto fn, std::size_t v0, std::size_t m) {
+      fn(a.data(), i0, i_end, buf.x[0] + v0, buf.y[0] + v0, lanes, m);
+    };
+    for_chunks([&](std::size_t v0) { run(vt.central_full, v0, kW); },
+               [&](std::size_t v0, std::size_t m) {
+                 run(vt.central_part, v0, m);
+               });
+    // 3·C(e,3) strict + 2·2·C(e,2) face + e central elements per lane.
+    const std::uint64_t e = i_end - i0;
+    mults = (e * (e - 1) * (e - 2) / 2 + 2 * e * (e - 1) + e) * lanes;
   }
   span.set_arg(mults);
   return mults;
+}
+
+std::uint64_t apply_block_panel(const tensor::SymTensor3& a,
+                                const partition::BlockCoord& c,
+                                std::size_t b, std::size_t lanes,
+                                const PanelBuffers& buf) {
+  return apply_block_panel_isa(a, c, b, lanes, buf, simt::preferred_isa());
 }
 
 }  // namespace sttsv::batch

@@ -6,14 +6,16 @@
 // tensor entry is loaded once per block instead of once per vector.
 //
 // Contract: lane v of the output is bitwise identical to running the
-// single-vector kernels (core::apply_block) on lane v alone. Each lane's
-// arithmetic is independent and performed in the same order as the
-// single-vector kernel, so batching reorders nothing within a lane.
+// single-vector kernels (core::apply_block) on lane v alone. Both sides
+// follow the canonical arithmetic order of DESIGN.md §13.1, so the
+// contract holds across the scalar and AVX2 instantiations in any
+// combination (core scalar vs. panel AVX2 and vice versa).
 
 #include <cstddef>
 #include <cstdint>
 
 #include "partition/blocks.hpp"
+#include "simt/simd.hpp"
 #include "tensor/sym_tensor.hpp"
 
 namespace sttsv::batch {
@@ -27,11 +29,20 @@ struct PanelBuffers {
   double* y[3] = {nullptr, nullptr, nullptr};
 };
 
+/// apply_block_panel with an explicit kernel ISA (tests pin this to
+/// compare instantiations; requesting kAvx2 on a host or build without
+/// AVX2 kernels silently falls back to scalar — bitwise identical).
+std::uint64_t apply_block_panel_isa(const tensor::SymTensor3& a,
+                                    const partition::BlockCoord& c,
+                                    std::size_t b, std::size_t lanes,
+                                    const PanelBuffers& buf,
+                                    simt::KernelIsa isa);
+
 /// Accumulates the contributions of block c into the y panels for all
 /// `lanes` vectors. Returns the ternary multiplication count summed over
 /// lanes (lanes × the single-vector count). Dispatches by block class
-/// like core::apply_block; lanes are processed in register-blocked
-/// chunks of 8/4/2/1.
+/// like core::apply_block, with the ISA from simt::preferred_isa();
+/// lanes are processed in vector-width chunks with a masked partial tail.
 std::uint64_t apply_block_panel(const tensor::SymTensor3& a,
                                 const partition::BlockCoord& c,
                                 std::size_t b, std::size_t lanes,

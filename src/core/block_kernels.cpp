@@ -1,147 +1,89 @@
 #include "core/block_kernels.hpp"
 
 #include <algorithm>
+#include <atomic>
 
+#include "core/block_kernels_impl.hpp"
 #include "obs/trace.hpp"
 #include "support/check.hpp"
 
-// The specialized kernels take mutually distinct buffers (aliased slots
-// are collapsed before dispatch), so the compiler may keep accumulators
-// in registers and vectorize the k-innermost loops.
-#define STTSV_RESTRICT __restrict__
+// This translation unit instantiates the canonical kernels with the
+// portable scalar vector type. It is compiled with -ffp-contract=off
+// (see src/core/CMakeLists.txt) so the compiler cannot fuse the
+// mul/add pairs into FMAs and break the bitwise contract with the AVX2
+// instantiation (DESIGN.md §13.1).
 
 namespace sttsv::core {
 
 namespace {
 
-/// Packed offset of the row (gi, gj, *): data[row + gk] is a_{gi,gj,gk}.
-inline std::size_t row_base(std::size_t gi, std::size_t gj) {
-  return gi * (gi + 1) * (gi + 2) / 6 + gj * (gj + 1) / 2;
+using detail::KernelVTable;
+
+const KernelVTable& scalar_vtable() {
+  static const KernelVTable t =
+      detail::make_kernel_vtable<simt::simd::VecScalar>();
+  return t;
 }
 
-/// Interior block c.i > c.j > c.k: the three index ranges are disjoint, so
-/// every element is strict (gi > gj > gk) and performs the same 3 updates —
-/// no multiplicity tests anywhere. The k loop is a fused dot-product /
-/// axpy pair; y_i and y_j contributions ride in registers across it.
-std::uint64_t interior_kernel(const double* STTSV_RESTRICT data,
-                              std::size_t i0, std::size_t i_end,
-                              std::size_t j0, std::size_t j_end,
-                              std::size_t k0, std::size_t k_end,
-                              const double* STTSV_RESTRICT xi,
-                              const double* STTSV_RESTRICT xj,
-                              const double* STTSV_RESTRICT xk,
-                              double* STTSV_RESTRICT yi,
-                              double* STTSV_RESTRICT yj,
-                              double* STTSV_RESTRICT yk) {
-  const std::size_t kb = k_end - k0;
-  for (std::size_t gi = i0; gi < i_end; ++gi) {
-    const std::size_t li = gi - i0;
-    const double xiv = xi[li];
-    double yi_row = 0.0;
-    for (std::size_t gj = j0; gj < j_end; ++gj) {
-      const std::size_t lj = gj - j0;
-      const double xjv = xj[lj];
-      const double* STTSV_RESTRICT row = data + row_base(gi, gj) + k0;
-      const double cij = 2.0 * xiv * xjv;
-      double acc = 0.0;
-      for (std::size_t lk = 0; lk < kb; ++lk) {
-        const double v = row[lk];
-        acc += v * xk[lk];
-        yk[lk] += cij * v;
-      }
-      yi_row += xjv * acc;
-      yj[lj] += 2.0 * xiv * acc;
-    }
-    yi[li] += 2.0 * yi_row;
+const KernelVTable& vtable_for(simt::KernelIsa isa) {
+#ifdef STTSV_HAVE_AVX2_KERNELS
+  if (isa == simt::KernelIsa::kAvx2 && simt::cpu_features().avx2 &&
+      simt::cpu_features().fma) {
+    return detail::avx2_kernel_vtable();
   }
-  return 3 * static_cast<std::uint64_t>(i_end - i0) * (j_end - j0) * kb;
+#else
+  (void)isa;
+#endif
+  // Requesting kAvx2 without compiled-in AVX2 kernels (or on a host
+  // without AVX2+FMA) silently falls back — bitwise identical anyway.
+  return scalar_vtable();
 }
 
-/// Face block c.i == c.j > c.k: rows with gi > gj are strict; the single
-/// gj == gi row per gi (element class i == j > k, 2 updates) is hoisted
-/// out of the inner loop. Slots 0 and 1 alias: xij/yij serve both.
-std::uint64_t face_ij_kernel(const double* STTSV_RESTRICT data,
-                             std::size_t i0, std::size_t i_end,
-                             std::size_t k0, std::size_t k_end,
-                             const double* STTSV_RESTRICT xij,
-                             const double* STTSV_RESTRICT xk,
-                             double* STTSV_RESTRICT yij,
-                             double* STTSV_RESTRICT yk) {
-  const std::size_t kb = k_end - k0;
-  for (std::size_t gi = i0; gi < i_end; ++gi) {
-    const std::size_t li = gi - i0;
-    const double xiv = xij[li];
-    double yi_row = 0.0;
-    for (std::size_t gj = i0; gj < gi; ++gj) {
-      const std::size_t lj = gj - i0;
-      const double xjv = xij[lj];
-      const double* STTSV_RESTRICT row = data + row_base(gi, gj) + k0;
-      const double cij = 2.0 * xiv * xjv;
-      double acc = 0.0;
-      for (std::size_t lk = 0; lk < kb; ++lk) {
-        const double v = row[lk];
-        acc += v * xk[lk];
-        yk[lk] += cij * v;
-      }
-      yi_row += xjv * acc;
-      yij[lj] += 2.0 * xiv * acc;
-    }
-    // gj == gi: y_i += 2 a x_j x_k collapses to 2 x_i Σ a x_k, and
-    // y_k += a x_i x_j becomes an axpy with coefficient x_i².
-    const double* STTSV_RESTRICT row = data + row_base(gi, gi) + k0;
-    const double cii = xiv * xiv;
-    double acc = 0.0;
-    for (std::size_t lk = 0; lk < kb; ++lk) {
-      const double v = row[lk];
-      acc += v * xk[lk];
-      yk[lk] += cii * v;
-    }
-    yij[li] += 2.0 * (yi_row + xiv * acc);
-  }
-  const std::uint64_t ni = i_end - i0;
-  return kb * (3 * (ni * (ni - 1) / 2) + 2 * ni);
+/// interior/face_ij vtable index for a register-block shape.
+std::size_t rj_index(std::uint8_t rj) { return rj == 4 ? 2 : (rj == 2 ? 1 : 0); }
+
+std::uint32_t encode(const KernelOptions& o) {
+  return static_cast<std::uint32_t>(o.isa) |
+         (static_cast<std::uint32_t>(o.math) << 8) |
+         (static_cast<std::uint32_t>(o.rj_interior) << 16) |
+         (static_cast<std::uint32_t>(o.rj_face_ij) << 24);
 }
 
-/// Face block c.i > c.j == c.k: within each (gi, gj) the run gk < gj is
-/// strict; the gk == gj tail (element class i > j == k, 2 updates) is
-/// hoisted out of the loop. Slots 1 and 2 alias: xjk/yjk serve both.
-std::uint64_t face_jk_kernel(const double* STTSV_RESTRICT data,
-                             std::size_t i0, std::size_t i_end,
-                             std::size_t j0, std::size_t j_end,
-                             const double* STTSV_RESTRICT xi,
-                             const double* STTSV_RESTRICT xjk,
-                             double* STTSV_RESTRICT yi,
-                             double* STTSV_RESTRICT yjk) {
-  for (std::size_t gi = i0; gi < i_end; ++gi) {
-    const std::size_t li = gi - i0;
-    const double xiv = xi[li];
-    const std::size_t gi_base = gi * (gi + 1) * (gi + 2) / 6;
-    double yi_row = 0.0;
-    for (std::size_t gj = j0; gj < j_end; ++gj) {
-      const std::size_t lj = gj - j0;
-      const double xjv = xjk[lj];
-      const double* STTSV_RESTRICT row =
-          data + gi_base + gj * (gj + 1) / 2 + j0;
-      const double cij = 2.0 * xiv * xjv;
-      double acc = 0.0;
-      for (std::size_t lk = 0; lk < lj; ++lk) {
-        const double v = row[lk];
-        acc += v * xjk[lk];
-        yjk[lk] += cij * v;
-      }
-      // gk == gj tail: y_i += a x_j x_k = a x_j², y_j += 2 a x_i x_k.
-      const double vt = row[lj];
-      yi_row += 2.0 * xjv * acc + vt * xjv * xjv;
-      yjk[lj] += 2.0 * xiv * acc + 2.0 * vt * xiv * xjv;
-    }
-    yi[li] += yi_row;
-  }
-  const std::uint64_t ni = i_end - i0;
-  const std::uint64_t nj = j_end - j0;
-  return ni * (3 * (nj * (nj - 1) / 2) + 2 * nj);
+KernelOptions decode(std::uint32_t bits) {
+  KernelOptions o;
+  o.isa = static_cast<simt::KernelIsa>(bits & 0xff);
+  o.math = static_cast<KernelMath>((bits >> 8) & 0xff);
+  o.rj_interior = static_cast<std::uint8_t>((bits >> 16) & 0xff);
+  o.rj_face_ij = static_cast<std::uint8_t>((bits >> 24) & 0xff);
+  return o;
+}
+
+std::atomic<std::uint32_t>& options_cell() {
+  // Initialized on first use so the default picks up preferred_isa()
+  // (which reads the STTSV_SIMD environment switch).
+  static std::atomic<std::uint32_t> cell{encode(KernelOptions{})};
+  return cell;
+}
+
+detail::CompressedScratch& compressed_scratch() {
+  thread_local detail::CompressedScratch scr;
+  return scr;
 }
 
 }  // namespace
+
+KernelOptions kernel_options() {
+  return decode(options_cell().load(std::memory_order_relaxed));
+}
+
+void set_kernel_options(const KernelOptions& opts) {
+  const auto valid_rj = [](std::uint8_t rj) {
+    return rj == 1 || rj == 2 || rj == 4;
+  };
+  STTSV_REQUIRE(valid_rj(opts.rj_interior) && valid_rj(opts.rj_face_ij),
+                "register-block shape must be 1, 2 or 4");
+  options_cell().store(encode(opts), std::memory_order_relaxed);
+}
 
 std::uint64_t apply_block_generic(const tensor::SymTensor3& a,
                                   const partition::BlockCoord& c,
@@ -181,7 +123,7 @@ std::uint64_t apply_block_generic(const tensor::SymTensor3& a,
     for (std::size_t gj = j0; gj < gj_end; ++gj) {
       const std::size_t lj = gj - j0;
       const double xjv = xj[lj];
-      const std::size_t row = row_base(gi, gj);
+      const std::size_t row = detail::packed_row_base(gi, gj);
       const std::size_t gk_end =
           jk_same_block ? std::min(gj + 1, k_end) : k_end;
       if (gi != gj) {
@@ -229,9 +171,10 @@ std::uint64_t apply_block_generic(const tensor::SymTensor3& a,
   return count;
 }
 
-std::uint64_t apply_block(const tensor::SymTensor3& a,
-                          const partition::BlockCoord& c, std::size_t b,
-                          const BlockBuffers& buf) {
+std::uint64_t apply_block_ex(const tensor::SymTensor3& a,
+                             const partition::BlockCoord& c, std::size_t b,
+                             const BlockBuffers& buf,
+                             const KernelOptions& opts) {
   STTSV_REQUIRE(c.i >= c.j && c.j >= c.k, "block coordinate must be sorted");
   for (int s = 0; s < 3; ++s) {
     STTSV_REQUIRE(buf.x[s] != nullptr && buf.y[s] != nullptr,
@@ -242,33 +185,46 @@ std::uint64_t apply_block(const tensor::SymTensor3& a,
   const std::size_t j0 = c.j * b;
   const std::size_t k0 = c.k * b;
   if (i0 >= n) return 0;  // fully padded block
-  // i0 < n implies k0 < j0' <= i0 < n for every coordinate, so each range
+  // i0 < n implies k0 <= j0 <= i0 < n for every coordinate, so each range
   // below is non-empty.
   const std::size_t i_end = std::min(i0 + b, n);
   const std::size_t j_end = std::min(j0 + b, n);
   const std::size_t k_end = std::min(k0 + b, n);
 
   obs::Span span("kernel.block", obs::Category::kKernel);
+  const KernelVTable& vt = vtable_for(opts.isa);
   std::uint64_t mults = 0;
   if (c.i > c.j && c.j > c.k) {
-    mults = interior_kernel(a.data(), i0, i_end, j0, j_end, k0, k_end,
-                            buf.x[0], buf.x[1], buf.x[2], buf.y[0], buf.y[1],
-                            buf.y[2]);
+    if (opts.math == KernelMath::kCompressed) {
+      mults = vt.interior_compressed(a.data(), i0, i_end, j0, j_end, k0, k_end,
+                                     buf.x[0], buf.x[1], buf.x[2], buf.y[0],
+                                     buf.y[1], buf.y[2], compressed_scratch());
+    } else {
+      mults = vt.interior[rj_index(opts.rj_interior)](
+          a.data(), i0, i_end, j0, j_end, k0, k_end, buf.x[0], buf.x[1],
+          buf.x[2], buf.y[0], buf.y[1], buf.y[2]);
+    }
   } else if (c.i == c.j && c.j > c.k) {
     // Slots 0 and 1 view the same row block (aliased by contract).
-    mults = face_ij_kernel(a.data(), i0, i_end, k0, k_end, buf.x[0], buf.x[2],
-                           buf.y[0], buf.y[2]);
+    mults = vt.face_ij[rj_index(opts.rj_face_ij)](a.data(), i0, i_end, k0,
+                                                  k_end, buf.x[0], buf.x[2],
+                                                  buf.y[0], buf.y[2]);
   } else if (c.i > c.j && c.j == c.k) {
     // Slots 1 and 2 view the same row block (aliased by contract).
-    mults = face_jk_kernel(a.data(), i0, i_end, j0, j_end, buf.x[0], buf.x[1],
-                           buf.y[0], buf.y[1]);
+    mults = vt.face_jk(a.data(), i0, i_end, j0, j_end, buf.x[0], buf.x[1],
+                       buf.y[0], buf.y[1]);
   } else {
-    // Central diagonal block: every equality case appears; the element-wise
-    // reference handles them all and only m such blocks exist per tiling.
-    mults = apply_block_generic(a, c, b, buf);
+    // Central diagonal block: all three slots alias one buffer.
+    mults = vt.central(a.data(), i0, i_end, buf.x[0], buf.y[0]);
   }
   span.set_arg(mults);
   return mults;
+}
+
+std::uint64_t apply_block(const tensor::SymTensor3& a,
+                          const partition::BlockCoord& c, std::size_t b,
+                          const BlockBuffers& buf) {
+  return apply_block_ex(a, c, b, buf, kernel_options());
 }
 
 }  // namespace sttsv::core
