@@ -278,6 +278,7 @@ int main(int argc, char** argv) {
     std::ofstream out("BENCH_batch.json");
     repro::JsonWriter w(out);
     w.begin_object();
+    w.field("schema", "sttsv.bench/v1");
     w.field("bench", "bench_batch");
     w.field("mode", quick ? "quick" : "full");
     w.field("n", static_cast<std::uint64_t>(n));

@@ -276,6 +276,7 @@ int main(int argc, char** argv) {
     std::ofstream out("BENCH_exchange.json");
     repro::JsonWriter jw(out);
     jw.begin_object();
+    jw.field("schema", "sttsv.bench/v1");
     jw.field("bench", "bench_exchange");
     jw.field("mode", quick ? "quick" : "full");
     jw.field("n", static_cast<std::uint64_t>(n));

@@ -411,12 +411,14 @@ ExecutorTiming sweep_executor(std::size_t q, std::size_t n) {
   return t;
 }
 
-void write_json(const char* path, bool tuned) {
+void write_json(const char* path, bool tuned, bool quick) {
   std::ofstream out(path);
   repro::JsonWriter w(out);
   const core::KernelOptions opts = core::kernel_options();
   w.begin_object();
+  w.field("schema", "sttsv.bench/v1");
   w.field("bench", "bench_kernels");
+  w.field("mode", quick ? "quick" : "full");
   w.field("flops_per_ternary_mult", std::uint64_t{2});
   w.field("kernel_isa", simt::isa_name(simt::preferred_isa()));
   w.field("cpu_features", simt::cpu_features_string());
@@ -425,7 +427,9 @@ void write_json(const char* path, bool tuned) {
   w.field("rj_interior", static_cast<std::uint64_t>(opts.rj_interior));
   w.field("rj_face_ij", static_cast<std::uint64_t>(opts.rj_face_ij));
   w.begin_array("block_classes");
-  for (const std::size_t n : {96u, 192u, 256u, 384u}) {
+  const std::vector<std::size_t> class_sizes =
+      quick ? std::vector<std::size_t>{96} : std::vector<std::size_t>{96, 192, 256, 384};
+  for (const std::size_t n : class_sizes) {
     for (const ClassTiming& t : sweep_block_classes(n)) {
       const double mults = static_cast<double>(t.mults);
       const double entries = static_cast<double>(t.entries);
@@ -463,8 +467,11 @@ void write_json(const char* path, bool tuned) {
   }
   w.end_array();
   w.begin_array("threaded_executor");
-  for (const auto& [q, n] : std::vector<std::pair<std::size_t, std::size_t>>{
-           {2, 120}, {2, 240}}) {
+  const auto executor_sizes =
+      quick ? std::vector<std::pair<std::size_t, std::size_t>>{{2, 120}}
+            : std::vector<std::pair<std::size_t, std::size_t>>{{2, 120},
+                                                               {2, 240}};
+  for (const auto& [q, n] : executor_sizes) {
     const ExecutorTiming t = sweep_executor(q, n);
     w.begin_object();
     w.field("n", static_cast<std::uint64_t>(t.n));
@@ -504,14 +511,18 @@ void write_json(const char* path, bool tuned) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // `--tune` is ours, not google-benchmark's: strip it before Initialize.
+  // `--tune` and `--quick` are ours, not google-benchmark's: strip them
+  // before Initialize.
   bool tune = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--tune") == 0) {
-      tune = true;
+  bool quick = false;
+  for (int i = 1; i < argc;) {
+    if (std::strcmp(argv[i], "--tune") == 0 ||
+        std::strcmp(argv[i], "--quick") == 0) {
+      (std::strcmp(argv[i], "--tune") == 0 ? tune : quick) = true;
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
-      break;
+    } else {
+      ++i;
     }
   }
   std::cout << "kernel ISA   : " << simt::isa_name(simt::preferred_isa())
@@ -540,10 +551,18 @@ int main(int argc, char** argv) {
             << static_cast<unsigned>(opts.rj_interior)
             << " rj_face_ij=" << static_cast<unsigned>(opts.rj_face_ij)
             << (tune ? " (autotuned)" : " (defaults)") << "\n";
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Quick mode: run each google-benchmark case briefly (CI smoke) and
+  // reduce the fixed JSON sweeps; the artifact keeps the same schema.
+  std::vector<char*> bench_args(argv, argv + argc);
+  std::string min_time_arg = "--benchmark_min_time=0.01";
+  if (quick) bench_args.push_back(min_time_arg.data());
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  write_json("BENCH_kernels.json", tune);
+  write_json("BENCH_kernels.json", tune, quick);
   return 0;
 }

@@ -283,6 +283,7 @@ int main(int argc, char** argv) {
       std::ofstream mf(trace_path + ".metrics.json");
       repro::JsonWriter w(mf);
       w.begin_object();
+      w.field("schema", "sttsv.bench/v1");
       w.field("bench", "bench_resilience");
       w.field("run", "traced-faulty");
       repro::write_observability(w, machine.ledger(), registry);
@@ -299,6 +300,7 @@ int main(int argc, char** argv) {
     std::ofstream out("BENCH_resilience.json");
     repro::JsonWriter w(out);
     w.begin_object();
+    w.field("schema", "sttsv.bench/v1");
     w.field("bench", "bench_resilience");
     w.field("mode", quick ? "quick" : "full");
     w.field("n", static_cast<std::uint64_t>(n));

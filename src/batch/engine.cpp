@@ -26,7 +26,21 @@ Engine::Engine(simt::Machine& machine, std::shared_ptr<const Plan> plan,
   plan_->prewarm_pool(machine_.pool(), opts_.max_batch_size);
 }
 
+void Engine::assert_owner() const {
+#ifdef STTSV_DEBUG_CHECKS
+  std::thread::id expected{};
+  const std::thread::id self = std::this_thread::get_id();
+  if (!owner_.compare_exchange_strong(expected, self,
+                                      std::memory_order_relaxed)) {
+    STTSV_DCHECK(expected == self,
+                 "batch::Engine is single-threaded: call from the owning "
+                 "thread or rebind_owner() first");
+  }
+#endif
+}
+
 std::size_t Engine::submit(std::vector<double> x, Callback callback) {
+  assert_owner();
   STTSV_REQUIRE(x.size() == plan_->key().n, "request vector length mismatch");
   const std::size_t id = next_id_++;
   queue_.push_back(Request{id, std::move(x), std::move(callback)});
@@ -36,6 +50,7 @@ std::size_t Engine::submit(std::vector<double> x, Callback callback) {
 }
 
 void Engine::flush() {
+  assert_owner();
   while (!queue_.empty()) run_one_batch();
 }
 

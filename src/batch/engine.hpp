@@ -9,11 +9,13 @@
 // identical outputs — the serving-path analogue of the repo's
 // "host parallelism must be unobservable" rule.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "batch/batched_run.hpp"
@@ -52,6 +54,14 @@ struct EngineStats {
   std::size_t largest_batch = 0;
 };
 
+/// Threading contract: the engine is single-threaded by design — batches
+/// run inline on the submitting thread and the simulated machine is
+/// driven from one thread (host parallelism lives below run_ranks). The
+/// first thread to call submit()/flush()/pending() becomes the owner;
+/// Debug builds (STTSV_DEBUG_CHECKS) assert every later call arrives on
+/// that thread. Concurrent callers — the serve front end's lanes — must
+/// serialize above the engine (serve::Frontend pumps from one thread) or
+/// take ownership explicitly with rebind_owner().
 class Engine {
  public:
   /// Called with the request id and the finished y = A ×₂ x ×₃ x.
@@ -72,7 +82,16 @@ class Engine {
   /// max_batch_size, in submission order.
   void flush();
 
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const {
+    assert_owner();
+    return queue_.size();
+  }
+
+  /// Deliberate ownership handoff: the next submit/flush/pending call may
+  /// come from any thread (which then becomes the new owner). The caller
+  /// is responsible for the happens-before edge between the old owner's
+  /// last call and the new owner's first.
+  void rebind_owner() { owner_.store(std::thread::id{}, std::memory_order_relaxed); }
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
   [[nodiscard]] const Plan& plan() const { return *plan_; }
   [[nodiscard]] const EngineOptions& options() const { return opts_; }
@@ -84,6 +103,9 @@ class Engine {
 
  private:
   void run_one_batch();
+  /// Debug-only single-threaded-use assertion (see class comment): binds
+  /// the owner on first call, then STTSV_DCHECKs every later caller.
+  void assert_owner() const;
 
   struct Request {
     std::size_t id = 0;
@@ -98,6 +120,8 @@ class Engine {
   std::deque<Request> queue_;
   std::size_t next_id_ = 0;
   EngineStats stats_;
+  /// Single-threaded-use witness; id{} until the first public call.
+  mutable std::atomic<std::thread::id> owner_{};
 };
 
 }  // namespace sttsv::batch

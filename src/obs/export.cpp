@@ -94,6 +94,9 @@ void write_metrics_json(repro::JsonWriter& w, const MetricsRegistry& registry,
     w.field("min", h.min);
     w.field("max", h.max);
     w.field("mean", h.mean());
+    w.field("p50", h.percentile(0.50));
+    w.field("p90", h.percentile(0.90));
+    w.field("p99", h.percentile(0.99));
     w.end_object();
   }
   w.end_object();

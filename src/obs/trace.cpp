@@ -71,6 +71,8 @@ const char* category_name(Category c) {
       return "engine-flush";
     case Category::kPipeline:
       return "pipeline";
+    case Category::kServe:
+      return "serve";
     case Category::kOther:
       return "other";
   }

@@ -48,6 +48,7 @@ enum class Category : std::uint8_t {
   kPlanCache,
   kEngineFlush,
   kPipeline,
+  kServe,
   kOther,
 };
 

@@ -1,0 +1,57 @@
+#include "serve/drr.hpp"
+
+#include "support/check.hpp"
+
+namespace sttsv::serve {
+
+std::size_t DrrScheduler::add_lane(std::uint64_t quantum) {
+  STTSV_REQUIRE(quantum >= 1, "DRR quantum must be >= 1");
+  Lane lane;
+  lane.quantum = quantum;
+  lanes_.push_back(std::move(lane));
+  return lanes_.size() - 1;
+}
+
+void DrrScheduler::enqueue(std::size_t lane, std::uint64_t handle) {
+  STTSV_REQUIRE(lane < lanes_.size(), "DRR lane out of range");
+  lanes_[lane].q.push_back(handle);
+  ++backlog_;
+}
+
+std::size_t DrrScheduler::lane_depth(std::size_t lane) const {
+  STTSV_REQUIRE(lane < lanes_.size(), "DRR lane out of range");
+  return lanes_[lane].q.size();
+}
+
+std::vector<DrrScheduler::Pick> DrrScheduler::next_batch(std::size_t width) {
+  STTSV_REQUIRE(width >= 1, "DRR batch width must be >= 1");
+  std::vector<Pick> out;
+  if (lanes_.empty()) return out;
+  while (out.size() < width && backlog_ > 0) {
+    Lane& lane = lanes_[cursor_];
+    if (lane.q.empty()) {
+      // An idle lane banks no credit (classic DRR: deficit resets when
+      // the queue drains, so credit cannot accumulate while idle).
+      lane.deficit = 0;
+      cursor_ = (cursor_ + 1) % lanes_.size();
+      continue;
+    }
+    // A fresh service opportunity credits the quantum; a lane resumed
+    // after a batch-boundary truncation keeps its remaining deficit.
+    if (lane.deficit == 0) lane.deficit = lane.quantum;
+    while (lane.deficit > 0 && !lane.q.empty() && out.size() < width) {
+      out.emplace_back(cursor_, lane.q.front());
+      lane.q.pop_front();
+      --backlog_;
+      --lane.deficit;
+    }
+    if (out.size() == width && lane.deficit > 0 && !lane.q.empty()) {
+      break;  // park the cursor here; leftover deficit carries over
+    }
+    if (lane.q.empty()) lane.deficit = 0;
+    cursor_ = (cursor_ + 1) % lanes_.size();
+  }
+  return out;
+}
+
+}  // namespace sttsv::serve

@@ -1,0 +1,56 @@
+#pragma once
+// Deficit-round-robin batch scheduler over per-tenant lanes (DESIGN.md
+// §14). Each lane is a FIFO of opaque job handles; next_batch() forms one
+// mixed-tenant batch of up to `width` jobs by cycling the lanes, crediting
+// each lane its quantum of deficit per service opportunity and serving
+// jobs (unit cost) against that credit. Backlogged lanes therefore share
+// batch slots in proportion to their quanta — equal quanta give equal
+// goodput under overload (the Jain-fairness property bench_serve checks)
+// — while per-lane FIFO order is preserved by construction.
+//
+// The scheduler is deterministic: batch composition depends only on the
+// enqueue sequence and the cursor state. When a batch fills mid-service,
+// the cursor parks on the interrupted lane and its remaining deficit
+// carries into the next batch, so truncation does not skew shares.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+namespace sttsv::serve {
+
+class DrrScheduler {
+ public:
+  /// One scheduled job: (lane index, handle passed to enqueue).
+  using Pick = std::pair<std::size_t, std::uint64_t>;
+
+  /// Registers a lane served `quantum` jobs per round-robin visit (>= 1).
+  /// Returns the lane index (dense, starting at 0).
+  std::size_t add_lane(std::uint64_t quantum = 1);
+
+  /// Appends a job handle to the lane's FIFO.
+  void enqueue(std::size_t lane, std::uint64_t handle);
+
+  /// Forms the next batch: up to `width` jobs in deterministic DRR order.
+  /// Returns fewer (possibly zero) when the backlog is smaller.
+  [[nodiscard]] std::vector<Pick> next_batch(std::size_t width);
+
+  [[nodiscard]] std::size_t num_lanes() const { return lanes_.size(); }
+  [[nodiscard]] std::size_t backlog() const { return backlog_; }
+  [[nodiscard]] std::size_t lane_depth(std::size_t lane) const;
+
+ private:
+  struct Lane {
+    std::deque<std::uint64_t> q;
+    std::uint64_t quantum = 1;
+    std::uint64_t deficit = 0;
+  };
+
+  std::vector<Lane> lanes_;
+  std::size_t cursor_ = 0;
+  std::size_t backlog_ = 0;
+};
+
+}  // namespace sttsv::serve

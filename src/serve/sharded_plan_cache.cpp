@@ -1,0 +1,89 @@
+#include "serve/sharded_plan_cache.hpp"
+
+#include "obs/metrics.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::serve {
+
+ShardedPlanCache::ShardedPlanCache(std::size_t shards,
+                                   std::size_t per_shard_capacity) {
+  STTSV_REQUIRE(shards >= 1, "plan cache needs at least one shard");
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(per_shard_capacity));
+  }
+}
+
+std::size_t ShardedPlanCache::shard_of(const batch::PlanKey& key) const {
+  return batch::PlanKeyHash{}(key) % shards_.size();
+}
+
+std::shared_ptr<const batch::Plan> ShardedPlanCache::get(
+    const batch::PlanKey& key) {
+  Shard& shard = *shards_[shard_of(key)];
+  // Misses build the plan while holding the shard lock: a second caller
+  // racing on the same shape blocks and then hits the just-built entry,
+  // so one pointer-identical plan exists per shape by construction.
+  std::lock_guard<std::mutex> lk(shard.mu);
+  return shard.cache.get(key);
+}
+
+std::uint64_t ShardedPlanCache::hits() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s->mu);
+    total += s->cache.hits();
+  }
+  return total;
+}
+
+std::uint64_t ShardedPlanCache::misses() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s->mu);
+    total += s->cache.misses();
+  }
+  return total;
+}
+
+std::size_t ShardedPlanCache::size() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s->mu);
+    total += s->cache.size();
+  }
+  return total;
+}
+
+double ShardedPlanCache::hit_rate() const {
+  const std::uint64_t h = hits();
+  const std::uint64_t m = misses();
+  return h + m == 0 ? 0.0
+                    : static_cast<double>(h) / static_cast<double>(h + m);
+}
+
+ShardedPlanCache::ShardStats ShardedPlanCache::shard_stats(
+    std::size_t shard) const {
+  STTSV_REQUIRE(shard < shards_.size(), "shard out of range");
+  const Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lk(s.mu);
+  return ShardStats{s.cache.hits(), s.cache.misses(), s.cache.size(),
+                    s.cache.capacity()};
+}
+
+void ShardedPlanCache::publish_metrics(obs::MetricsRegistry& out,
+                                       const std::string& prefix) const {
+  out.set_counter(prefix + ".hits", hits());
+  out.set_counter(prefix + ".misses", misses());
+  out.set_counter(prefix + ".size", size());
+  out.set_counter(prefix + ".shards", shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const ShardStats stats = shard_stats(s);
+    const std::string base = prefix + ".shard" + std::to_string(s);
+    out.set_counter(base + ".hits", stats.hits);
+    out.set_counter(base + ".misses", stats.misses);
+    out.set_counter(base + ".size", stats.size);
+  }
+}
+
+}  // namespace sttsv::serve

@@ -1,0 +1,75 @@
+#pragma once
+// Sharded, thread-safe plan cache for the serving layer (DESIGN.md §14).
+// The Steiner/partition plan depends only on (n, P, family, transport) —
+// nothing tenant- or value-specific — so hot shapes can stay
+// pointer-identical across every tenant that serves them. This wrapper
+// spreads batch::PlanCache instances over `shards` mutex-protected
+// shards keyed by PlanKeyHash: concurrent lookups of the SAME shape
+// serialize only on that shape's shard (the first caller builds, later
+// callers hit and receive the identical shared_ptr), while DISTINCT
+// shapes land on distinct shards and do not contend. LRU eviction runs
+// per shard with per-shard capacity.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "batch/plan.hpp"
+
+namespace sttsv::obs {
+class MetricsRegistry;
+}  // namespace sttsv::obs
+
+namespace sttsv::serve {
+
+class ShardedPlanCache {
+ public:
+  /// `shards` independent batch::PlanCache instances, each holding up to
+  /// `per_shard_capacity` plans under LRU.
+  explicit ShardedPlanCache(std::size_t shards = 8,
+                            std::size_t per_shard_capacity = 8);
+
+  /// Thread-safe memoized Plan::build: hits return the cached pointer
+  /// (identity-preserving); misses build under the shard lock.
+  std::shared_ptr<const batch::Plan> get(const batch::PlanKey& key);
+
+  /// Which shard a key lives on (stable; used by the sharding tests).
+  [[nodiscard]] std::size_t shard_of(const batch::PlanKey& key) const;
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+
+  /// Aggregates over all shards.
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::size_t size() const;
+  /// hits / (hits + misses); 0 when never queried.
+  [[nodiscard]] double hit_rate() const;
+
+  /// Per-shard snapshot for tests and metrics.
+  struct ShardStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+  };
+  [[nodiscard]] ShardStats shard_stats(std::size_t shard) const;
+
+  /// Publishes aggregate + per-shard counters as "<prefix>.*", set
+  /// absolutely so re-export is idempotent.
+  void publish_metrics(obs::MetricsRegistry& out,
+                       const std::string& prefix = "serve.plan_cache") const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    batch::PlanCache cache;
+    explicit Shard(std::size_t capacity) : cache(capacity) {}
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace sttsv::serve

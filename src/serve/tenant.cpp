@@ -1,0 +1,56 @@
+#include "serve/tenant.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace sttsv::serve {
+
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kShapeMismatch:
+      return "shape_mismatch";
+    case RejectReason::kTenantQueueFull:
+      return "tenant_queue_full";
+    case RejectReason::kGlobalQueueFull:
+      return "global_queue_full";
+    case RejectReason::kInFlightQuota:
+      return "in_flight_quota";
+    case RejectReason::kRateLimited:
+      return "rate_limited";
+  }
+  STTSV_CHECK(false, "unknown reject reason");
+  return "";
+}
+
+TokenBucket::TokenBucket(double rate_per_s, double burst)
+    : rate_per_ns_(rate_per_s / 1e9),
+      burst_(burst),
+      tokens_(burst),
+      unlimited_(!(rate_per_s < std::numeric_limits<double>::infinity())) {
+  STTSV_REQUIRE(rate_per_s > 0.0, "token bucket rate must be positive");
+  STTSV_REQUIRE(burst >= 1.0, "token bucket burst must be >= 1");
+}
+
+void TokenBucket::refill(std::uint64_t now_ns) {
+  STTSV_REQUIRE(now_ns >= last_ns_, "token bucket clock must not go back");
+  tokens_ = std::min(
+      burst_, tokens_ + rate_per_ns_ * static_cast<double>(now_ns - last_ns_));
+  last_ns_ = now_ns;
+}
+
+bool TokenBucket::try_take(std::uint64_t now_ns) {
+  if (unlimited_) return true;
+  refill(now_ns);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::available(std::uint64_t now_ns) {
+  if (unlimited_) return std::numeric_limits<double>::infinity();
+  refill(now_ns);
+  return tokens_;
+}
+
+}  // namespace sttsv::serve

@@ -1,0 +1,112 @@
+#pragma once
+// Tenant identity, quotas and accounting for the multi-tenant serving
+// front end (DESIGN.md §14). A tenant is a registered traffic source with
+// its own FIFO lane, admission quotas (queue depth, in-flight jobs,
+// token-bucket rate) and an accounting record: job counters broken down
+// by reject reason, the tenant's exact share of the communication ledger
+// (attribution sums to the global ledger by construction — the serving
+// analogue of the conservation invariant), and latency histograms dense
+// enough for p50/p99 extraction (obs::HistogramStats).
+//
+// Everything here runs on the front end's virtual clock (nanoseconds), so
+// admission decisions are a pure function of the seeded arrival sequence
+// — reproducible bit for bit, like every other subsystem in the repo.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace sttsv::serve {
+
+/// Dense tenant handle assigned by Frontend::add_tenant (0, 1, 2, ...).
+using TenantId = std::size_t;
+
+/// Why a submission was turned away. Admission never drops silently: every
+/// rejected job is counted against its tenant under one of these reasons.
+/// Checks run in the declaration order below (shape first, rate last, so a
+/// job that would be rejected anyway does not consume rate tokens).
+enum class RejectReason : std::uint8_t {
+  kShapeMismatch,    // x.size() != plan n — never admitted at any load
+  kTenantQueueFull,  // tenant lane at quota.max_queue_depth (backpressure)
+  kGlobalQueueFull,  // total backlog at FrontendOptions::global_queue_depth
+  kInFlightQuota,    // queued + unfinished jobs at quota.max_in_flight
+  kRateLimited,      // token bucket empty
+};
+inline constexpr std::size_t kNumRejectReasons = 5;
+
+[[nodiscard]] const char* reject_reason_name(RejectReason reason);
+
+/// Per-tenant admission limits. Defaults admit everything (no quota).
+struct TenantQuota {
+  /// Jobs allowed to wait in the tenant's lane; arrivals beyond this are
+  /// rejected kTenantQueueFull (bounded buffering, never unbounded).
+  std::size_t max_queue_depth = 64;
+  /// Queued plus in-service-but-not-yet-complete jobs (virtual time).
+  std::size_t max_in_flight = std::numeric_limits<std::size_t>::max();
+  /// Token-bucket sustained admission rate; infinity = unlimited.
+  double rate_per_s = std::numeric_limits<double>::infinity();
+  /// Token-bucket burst capacity (whole jobs).
+  double burst = 32.0;
+  /// DRR quantum: jobs' worth of deficit credited per scheduler visit.
+  /// Equal quanta give equal service under backlog; larger = more share.
+  std::uint64_t weight = 1;
+};
+
+/// Deterministic token bucket on the virtual clock. Refills continuously
+/// at rate_per_s up to burst; try_take admits one job per token.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_s, double burst);
+
+  /// Refills up to now_ns and consumes one token if available. `now_ns`
+  /// must be monotonically nondecreasing across calls.
+  bool try_take(std::uint64_t now_ns);
+
+  /// Tokens available at now_ns (refill applied, nothing consumed).
+  [[nodiscard]] double available(std::uint64_t now_ns);
+
+ private:
+  void refill(std::uint64_t now_ns);
+
+  double rate_per_ns_;
+  double burst_;
+  double tokens_;
+  std::uint64_t last_ns_ = 0;
+  bool unlimited_;
+};
+
+/// Everything the front end accounts per tenant. Counters are exact; the
+/// ledger shares (words/messages/rounds) are the tenant's attributed
+/// slice of each mixed batch's ledger delta — per-batch deltas are split
+/// across lanes evenly with the remainder assigned to the earliest lanes
+/// in batch order, so the per-tenant sums reproduce the global ledger
+/// exactly (tests/test_serve.cpp proves conservation).
+struct TenantStats {
+  std::string name;
+  TenantQuota quota;
+
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected_total = 0;
+  std::array<std::uint64_t, kNumRejectReasons> rejected{};
+
+  // Attributed ledger shares (goodput words, overhead words, messages,
+  // rounds) summing exactly to the machine ledger across tenants.
+  std::uint64_t words = 0;
+  std::uint64_t overhead_words = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t rounds = 0;
+
+  // Virtual-time latency decomposition, nanoseconds: queue wait
+  // (batch start - arrival), service (completion - batch start), and
+  // end-to-end latency (completion - arrival).
+  obs::HistogramStats queue_wait_ns;
+  obs::HistogramStats service_ns;
+  obs::HistogramStats latency_ns;
+};
+
+}  // namespace sttsv::serve

@@ -1,0 +1,68 @@
+#include "serve/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace sttsv::serve {
+
+std::vector<Arrival> generate_open_loop(const TrafficSpec& spec) {
+  STTSV_REQUIRE(!spec.tenant_weights.empty(), "traffic needs >= 1 tenant");
+  STTSV_REQUIRE(spec.duration_s > 0.0, "traffic duration must be positive");
+  STTSV_REQUIRE(spec.offered_jobs_per_s > 0.0,
+                "offered load must be positive");
+  double total_weight = 0.0;
+  for (const double w : spec.tenant_weights) {
+    STTSV_REQUIRE(w > 0.0, "tenant weights must be positive");
+    total_weight += w;
+  }
+
+  const std::uint64_t horizon_ns =
+      static_cast<std::uint64_t>(spec.duration_s * 1e9);
+  std::vector<Arrival> merged;
+  for (std::size_t t = 0; t < spec.tenant_weights.size(); ++t) {
+    // Per-tenant stream: seeding from (seed, tenant) makes each tenant's
+    // trace independent of how many other tenants exist.
+    std::uint64_t mix = spec.seed;
+    (void)splitmix64(mix);
+    Rng rng(mix + 0x9e3779b97f4a7c15ULL * (t + 1));
+    const double rate_per_ns =
+        spec.offered_jobs_per_s * (spec.tenant_weights[t] / total_weight) /
+        1e9;
+    double clock_ns = 0.0;
+    std::uint64_t seq = 0;
+    for (;;) {
+      // Exponential gap: -ln(1 - U) / rate, U uniform in [0, 1).
+      const double gap = -std::log1p(-rng.next_unit()) / rate_per_ns;
+      clock_ns += gap;
+      if (clock_ns >= static_cast<double>(horizon_ns)) break;
+      merged.push_back(
+          Arrival{static_cast<std::uint64_t>(clock_ns), t, seq++});
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Arrival& a, const Arrival& b) {
+              if (a.time_ns != b.time_ns) return a.time_ns < b.time_ns;
+              if (a.tenant != b.tenant) return a.tenant < b.tenant;
+              return a.seq < b.seq;
+            });
+  return merged;
+}
+
+std::vector<double> uniform_weights(std::size_t tenants) {
+  STTSV_REQUIRE(tenants >= 1, "need >= 1 tenant");
+  return std::vector<double>(tenants, 1.0);
+}
+
+std::vector<double> zipf_weights(std::size_t tenants, double s) {
+  STTSV_REQUIRE(tenants >= 1, "need >= 1 tenant");
+  std::vector<double> w(tenants);
+  for (std::size_t t = 0; t < tenants; ++t) {
+    w[t] = 1.0 / std::pow(static_cast<double>(t + 1), s);
+  }
+  return w;
+}
+
+}  // namespace sttsv::serve

@@ -609,5 +609,63 @@ TEST(Determinism, TracedResilientRunMatchesUntracedAndAttributesOverhead) {
   EXPECT_GT(retry_spans, 0u);
 }
 
+// --- Histogram percentiles (serving-layer latency reporting) --------------
+
+TEST(HistogramPercentiles, EmptyAndSingleValue) {
+  HistogramStats h;
+  EXPECT_EQ(h.percentile(0.50), 0.0);
+  h.observe(42.0);
+  // A single sample: every percentile collapses to it exactly (the
+  // geometric bucket midpoint is clamped to the observed [min, max]).
+  EXPECT_EQ(h.percentile(0.0), 42.0);
+  EXPECT_EQ(h.percentile(0.50), 42.0);
+  EXPECT_EQ(h.percentile(0.99), 42.0);
+}
+
+TEST(HistogramPercentiles, UniformRampWithinBucketResolution) {
+  HistogramStats h;
+  for (int v = 1; v <= 1000; ++v) h.observe(static_cast<double>(v));
+  // 8 sub-buckets per octave: relative bucket width 2^(1/8) ~ 9%.
+  const double p50 = h.percentile(0.50);
+  const double p90 = h.percentile(0.90);
+  const double p99 = h.percentile(0.99);
+  EXPECT_NEAR(p50, 500.0, 500.0 * 0.10);
+  EXPECT_NEAR(p90, 900.0, 900.0 * 0.10);
+  EXPECT_NEAR(p99, 990.0, 990.0 * 0.10);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, 1000.0);  // clamped to the observed max
+  EXPECT_GE(h.percentile(0.0), 1.0);
+}
+
+TEST(HistogramPercentiles, UnderflowBucketReportsMin) {
+  HistogramStats h;
+  h.observe(0.0);  // non-positive values land in the underflow bucket
+  h.observe(0.0);
+  EXPECT_EQ(h.percentile(0.50), 0.0);
+  h.observe(8.0);
+  EXPECT_EQ(h.percentile(0.50), 0.0);   // rank 2 of 3 still underflow
+  EXPECT_NEAR(h.percentile(0.99), 8.0, 8.0 * 0.10);
+}
+
+TEST(HistogramPercentiles, WideDynamicRange) {
+  HistogramStats h;
+  h.observe(1e-6);
+  h.observe(1.0);
+  h.observe(1e9);
+  EXPECT_NEAR(h.percentile(0.50), 1.0, 0.10);
+  EXPECT_NEAR(h.percentile(0.99), 1e9, 1e9 * 0.10);
+  EXPECT_EQ(h.count, 3u);
+}
+
+TEST(HistogramPercentiles, RegistryExposesPercentiles) {
+  MetricsRegistry reg;
+  for (int v = 1; v <= 100; ++v) {
+    reg.observe("latency", static_cast<double>(v));
+  }
+  EXPECT_NEAR(reg.percentile("latency", 0.50), 50.0, 5.0);
+  EXPECT_EQ(reg.percentile("missing", 0.50), 0.0);
+}
+
 }  // namespace
 }  // namespace sttsv::obs
