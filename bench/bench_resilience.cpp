@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/parallel_sttsv.hpp"
+#include "elastic/recovery.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -55,6 +56,24 @@ struct RatePoint {
   std::uint64_t goodput_words = 0;    // per run (identical across seeds)
   std::uint64_t overhead_words = 0;   // mean over seeds
   std::uint64_t overhead_rounds = 0;  // mean over seeds
+  /// Injected-fault counts indexed by simt::FaultKind.
+  std::uint64_t by_kind[6] = {};
+};
+
+constexpr const char* kKindNames[6] = {"drop",    "corrupt", "duplicate",
+                                       "reorder", "stall",   "crash"};
+
+/// One row of the per-fault-kind overhead breakdown: a single fault
+/// class alone on the wire, so the protocol cost is attributable.
+struct KindPoint {
+  std::string kind;
+  double rate = 0.0;
+  std::size_t seeds = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t mean_overhead_words = 0;
+  std::uint64_t mean_recovery_words = 0;
+  std::size_t shrinks = 0;
+  double mean_detection_attempts = 0.0;
 };
 
 }  // namespace
@@ -139,6 +158,9 @@ int main(int argc, char** argv) {
 
       machine.ledger().verify_conservation();
       pt.faults_injected += injector.log().size();
+      for (const simt::FaultEvent& ev : injector.log()) {
+        ++pt.by_kind[static_cast<std::size_t>(ev.kind)];
+      }
       pt.retransmitted_frames += rex.stats().retransmitted_frames;
       pt.duplicate_frames_ignored += rex.stats().duplicate_frames_ignored;
       pt.corrupt_frames_detected += rex.stats().corrupt_frames_detected;
@@ -206,6 +228,131 @@ int main(int argc, char** argv) {
                 "kDegrade recovers bitwise under 95% frame loss");
     check.check(degraded_reports > 0,
                 "degraded exchanges leave structured FaultReports");
+  }
+
+  // --- Per-fault-kind overhead breakdown. ------------------------------
+  // One fault class at a time on the wire isolates its marginal protocol
+  // cost over the "none" baseline (framing + ACKs exist even fault-free).
+  // The crash row runs the elastic recovery loop (two scheduled deaths
+  // at the same site) and reports the redistribution traffic metered in
+  // the ledger's recovery channel plus detection latency in protocol
+  // attempts (DESIGN.md §15).
+  std::vector<KindPoint> kinds;
+  {
+    const std::size_t kind_seeds = quick ? 4 : 8;
+    struct KindCfg {
+      const char* name;
+      simt::FaultConfig cfg;
+      double rate;
+    };
+    const std::vector<KindCfg> cfgs = {
+        {"none", {}, 0.0},
+        {"drop", {.drop = 0.10}, 0.10},
+        {"corrupt", {.corrupt = 0.10}, 0.10},
+        {"duplicate", {.duplicate = 0.10}, 0.10},
+        {"reorder", {.reorder = 0.25}, 0.25},
+        {"stall", {.stall = 0.10}, 0.10},
+    };
+    for (const KindCfg& kc : cfgs) {
+      KindPoint kp;
+      kp.kind = kc.name;
+      kp.rate = kc.rate;
+      kp.seeds = kind_seeds;
+      std::uint64_t overhead_sum = 0;
+      for (std::uint64_t seed = 0; seed < kind_seeds; ++seed) {
+        simt::FaultConfig cfg = kc.cfg;
+        cfg.seed = 0xB0B0 + seed;
+        simt::FaultInjector injector(cfg);
+        simt::Machine machine(P);
+        machine.set_fault_injector(&injector);
+        simt::ReliableExchange rex(machine, simt::RetryPolicy{32, 1, 64},
+                                   simt::RecoveryPolicy::kFailFast);
+        const auto got = core::parallel_sttsv(
+            rex, part, dist, a, x, simt::Transport::kPointToPoint);
+        check.check(got.y.size() == ref.y.size() &&
+                        std::memcmp(got.y.data(), ref.y.data(),
+                                    ref.y.size() * sizeof(double)) == 0,
+                    std::string("kind=") + kc.name + " seed " +
+                        std::to_string(seed) + ": bitwise recovery");
+        machine.ledger().verify_conservation();
+        kp.faults_injected += injector.log().size();
+        overhead_sum += machine.ledger().total_overhead_words();
+      }
+      kp.mean_overhead_words = overhead_sum / kind_seeds;
+      kinds.push_back(kp);
+    }
+
+    KindPoint crash;
+    crash.kind = "crash";
+    crash.rate = 0.0;  // scheduled deterministically, not rolled
+    crash.seeds = kind_seeds;
+    std::uint64_t overhead_sum = 0;
+    std::uint64_t recovery_sum = 0;
+    std::size_t detection_sum = 0;
+    for (std::uint64_t seed = 0; seed < kind_seeds; ++seed) {
+      simt::FaultInjector injector({.seed = 0xDEAD00 + seed});
+      const std::size_t r0 = seed % P;
+      const std::size_t r1 = (r0 + 1 + seed % (P - 1)) % P;
+      const std::uint64_t site = 1 + seed % 2;
+      injector.schedule_crash(r0, site);
+      injector.schedule_crash(r1, site);
+      simt::Machine machine(P);
+      machine.set_fault_injector(&injector);
+      elastic::RecoveryOptions ro;
+      // The retry budget must exceed the liveness bound: a crash landing
+      // on an ACK exchange leaves the dead ranks "heard" in attempt 1,
+      // so the silence counter needs two further attempts to convict.
+      ro.retry = simt::RetryPolicy{3, 1, 4};
+      ro.liveness = simt::LivenessPolicy{true, 2};
+      const auto out =
+          elastic::run_with_recovery(machine, part, dist, a, x, ro);
+      check.check(out.result.y.size() == ref.y.size() &&
+                      std::memcmp(out.result.y.data(), ref.y.data(),
+                                  ref.y.size() * sizeof(double)) == 0,
+                  "crash seed " + std::to_string(seed) +
+                      ": y bitwise identical after elastic shrink");
+      machine.ledger().verify_conservation();
+      crash.faults_injected += injector.log().size();
+      crash.shrinks += out.shrinks;
+      overhead_sum += machine.ledger().total_overhead_words();
+      recovery_sum += machine.ledger().total_recovery_words();
+      detection_sum += out.detection_attempts;
+    }
+    crash.mean_overhead_words = overhead_sum / kind_seeds;
+    crash.mean_recovery_words = recovery_sum / kind_seeds;
+    crash.mean_detection_attempts =
+        static_cast<double>(detection_sum) / static_cast<double>(kind_seeds);
+    kinds.push_back(crash);
+
+    TextTable kind_table({"kind", "rate", "faults", "overhead words (mean)",
+                          "recovery words (mean)", "shrinks"},
+                         std::vector<Align>(6, Align::kRight));
+    for (const KindPoint& kp : kinds) {
+      kind_table.add_row({kp.kind, format_double(kp.rate, 2),
+                          std::to_string(kp.faults_injected),
+                          std::to_string(kp.mean_overhead_words),
+                          std::to_string(kp.mean_recovery_words),
+                          std::to_string(kp.shrinks)});
+    }
+    std::cout << "\n" << kind_table << "\n";
+
+    const std::uint64_t baseline = kinds.front().mean_overhead_words;
+    check.check(kinds.front().faults_injected == 0,
+                "breakdown baseline runs fault-free");
+    for (const KindPoint& kp : kinds) {
+      if (kp.kind == "none" || kp.kind == "reorder") continue;
+      check.check(kp.faults_injected > 0,
+                  "kind=" + kp.kind + ": faults injected");
+      // Crash cost lives in the recovery channel (and the survivor run
+      // frames fewer ranks, so its overhead can drop below baseline).
+      if (kp.kind == "crash") continue;
+      check.check(kp.mean_overhead_words > baseline,
+                  "kind=" + kp.kind + ": overhead above fault-free baseline");
+    }
+    check.check(kinds.back().shrinks == kind_seeds,
+                "crash rows shrink exactly once per run");
+    check.check(recovery_sum > 0,
+                "crash redistribution metered in the recovery channel");
   }
 
   // --- Optional traced faulty run (--trace <path>). --------------------
@@ -321,6 +468,11 @@ int main(int argc, char** argv) {
       w.field("retransmitted_frames", pt.retransmitted_frames);
       w.field("duplicate_frames_ignored", pt.duplicate_frames_ignored);
       w.field("corrupt_frames_detected", pt.corrupt_frames_detected);
+      w.begin_object("injected_by_kind");
+      for (std::size_t k = 0; k < 6; ++k) {
+        w.field(kKindNames[k], pt.by_kind[k]);
+      }
+      w.end_object();
       w.field("goodput_words", pt.goodput_words);
       w.field("mean_overhead_words", pt.overhead_words);
       w.field("mean_overhead_rounds", pt.overhead_rounds);
@@ -336,6 +488,20 @@ int main(int argc, char** argv) {
     w.field("degraded_deliveries", degraded_deliveries);
     w.field("fault_reports", static_cast<std::uint64_t>(degraded_reports));
     w.end_object();
+    w.begin_array("fault_kind_breakdown");
+    for (const KindPoint& kp : kinds) {
+      w.begin_object();
+      w.field("kind", kp.kind);
+      w.field("rate", kp.rate);
+      w.field("seeds", static_cast<std::uint64_t>(kp.seeds));
+      w.field("faults_injected", kp.faults_injected);
+      w.field("mean_overhead_words", kp.mean_overhead_words);
+      w.field("mean_recovery_words", kp.mean_recovery_words);
+      w.field("shrinks", static_cast<std::uint64_t>(kp.shrinks));
+      w.field("mean_detection_attempts", kp.mean_detection_attempts);
+      w.end_object();
+    }
+    w.end_array();
     // Two-channel ledger of the last sweep run's machine shape, taken
     // from a dedicated fault-free protocol run so the artifact also
     // prices resilience at rate 0.

@@ -72,11 +72,12 @@ inline void banner(const std::string& title) {
 // JsonWriter lives in support/json_writer.hpp (same namespace) so library
 // code — the obs exporters in particular — can emit artifacts too.
 
-/// Emits the ledger's two channels — goodput (the Theorem 5.2 quantity)
-/// and resilience overhead — as one "ledger" object in the current JSON
-/// scope. Every bench that exercises ReliableExchange reports both so
-/// artifacts can show the paper bound holding on goodput while pricing
-/// the protocol separately.
+/// Emits the ledger's three channels — goodput (the Theorem 5.2
+/// quantity), resilience overhead, and rank-loss recovery traffic — as
+/// one "ledger" object in the current JSON scope. Every bench that
+/// exercises ReliableExchange reports all three so artifacts can show
+/// the paper bound holding on goodput while pricing the protocol and
+/// any redistribution separately.
 inline void write_ledger_channels(JsonWriter& w,
                                   const simt::CommLedger& ledger) {
   w.begin_object("ledger");
@@ -91,6 +92,12 @@ inline void write_ledger_channels(JsonWriter& w,
   w.field("total_overhead_words", ledger.total_overhead_words());
   w.field("overhead_messages", ledger.overhead_messages());
   w.field("overhead_rounds", ledger.overhead_rounds());
+  w.field("max_recovery_words_sent", ledger.max_recovery_words_sent());
+  w.field("max_recovery_words_received",
+          ledger.max_recovery_words_received());
+  w.field("total_recovery_words", ledger.total_recovery_words());
+  w.field("recovery_messages", ledger.recovery_messages());
+  w.field("recovery_rounds", ledger.recovery_rounds());
   w.end_object();
 }
 

@@ -54,6 +54,28 @@ void Engine::flush() {
   while (!queue_.empty()) run_one_batch();
 }
 
+std::vector<std::vector<double>> Engine::cancel_pending() {
+  assert_owner();
+  std::vector<std::vector<double>> xs;
+  xs.reserve(queue_.size());
+  while (!queue_.empty()) {
+    xs.push_back(std::move(queue_.front().x));
+    queue_.pop_front();
+  }
+  return xs;
+}
+
+void Engine::rebind_plan(std::shared_ptr<const Plan> plan) {
+  assert_owner();
+  STTSV_REQUIRE(plan != nullptr, "engine needs a plan");
+  STTSV_REQUIRE(plan->key().n == plan_->key().n,
+                "rebound plan must keep the tensor dimension");
+  STTSV_REQUIRE(machine_.num_ranks() == plan->num_processors(),
+                "machine rank count must match the rebound plan");
+  plan->prewarm_pool(machine_.pool(), opts_.max_batch_size);
+  plan_ = std::move(plan);
+}
+
 void Engine::run_one_batch() {
   const std::size_t B = std::min(queue_.size(), opts_.max_batch_size);
   STTSV_CHECK(B >= 1, "empty batch");

@@ -82,6 +82,21 @@ class Engine {
   /// max_batch_size, in submission order.
   void flush();
 
+  /// Abandons every pending request without running it: returns the
+  /// queued input vectors in submission order and drops the callbacks.
+  /// The recovery seam (DESIGN.md §15): after a simt::FaultError escapes
+  /// submit()/flush(), the caller reclaims the inputs, shrinks/rebinds,
+  /// and resubmits under its own bookkeeping (serve::Frontend re-parks
+  /// them under the original job handles).
+  std::vector<std::vector<double>> cancel_pending();
+
+  /// Swaps in a new plan mid-life (same n, same machine width) — the
+  /// elastic-shrink hook: after a membership change the caller rebuilds
+  /// the plan under a fresh PlanKey::epoch and rebinds without tearing
+  /// the engine (and its queue/stats/ids) down. Prewarms the pool for
+  /// the new plan's walk.
+  void rebind_plan(std::shared_ptr<const Plan> plan);
+
   [[nodiscard]] std::size_t pending() const {
     assert_owner();
     return queue_.size();

@@ -62,6 +62,7 @@ std::size_t PlanKeyHash::operator()(const PlanKey& k) const noexcept {
   mix(static_cast<std::size_t>(k.family));
   mix(static_cast<std::size_t>(k.param));
   mix(static_cast<std::size_t>(k.transport));
+  mix(static_cast<std::size_t>(k.epoch));
   return h;
 }
 

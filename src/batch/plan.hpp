@@ -43,6 +43,12 @@ struct PlanKey {
   Family family = Family::kSpherical;
   std::uint64_t param = 0;     // q / k / m, per Family
   simt::Transport transport = simt::Transport::kPointToPoint;
+  /// Membership epoch the plan was built for (Machine::membership_epoch).
+  /// Plans are structurally identical across epochs, but keying on the
+  /// epoch invalidates cached plans after an elastic shrink: stale
+  /// entries age out of the LRU instead of being served to a machine
+  /// whose live set no longer matches.
+  std::uint64_t epoch = 0;
 
   friend bool operator==(const PlanKey&, const PlanKey&) = default;
 };

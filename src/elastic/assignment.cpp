@@ -1,0 +1,98 @@
+#include "elastic/assignment.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace sttsv::elastic {
+
+BlockAssignment BlockAssignment::identity(std::size_t num_roles) {
+  STTSV_REQUIRE(num_roles >= 1, "assignment needs at least one role");
+  BlockAssignment a;
+  a.hosts_.resize(num_roles);
+  a.live_.resize(num_roles);
+  for (std::size_t r = 0; r < num_roles; ++r) {
+    a.hosts_[r] = r;
+    a.live_[r] = r;
+  }
+  return a;
+}
+
+BlockAssignment BlockAssignment::shrink(
+    const std::vector<std::size_t>& dead) const {
+  std::vector<std::size_t> dying = dead;
+  std::sort(dying.begin(), dying.end());
+  dying.erase(std::unique(dying.begin(), dying.end()), dying.end());
+  for (const std::size_t r : dying) {
+    STTSV_REQUIRE(r < hosts_.size(), "dead rank out of range");
+  }
+
+  BlockAssignment next;
+  next.epoch_ = epoch_ + 1;
+  for (const std::size_t r : live_) {
+    if (!std::binary_search(dying.begin(), dying.end(), r)) {
+      next.live_.push_back(r);
+    }
+  }
+  STTSV_REQUIRE(!next.live_.empty(), "shrink would leave no live rank");
+
+  next.hosts_ = hosts_;
+  std::vector<std::size_t> load(hosts_.size(), 0);
+  for (std::size_t role = 0; role < hosts_.size(); ++role) {
+    if (std::binary_search(next.live_.begin(), next.live_.end(),
+                           hosts_[role])) {
+      ++load[hosts_[role]];
+    }
+  }
+  // Orphaned roles ascending, each to the currently least-loaded live
+  // rank (ties to the lowest id): deterministic, and from the uniform
+  // start it keeps per-host loads within one of each other.
+  for (std::size_t role = 0; role < hosts_.size(); ++role) {
+    if (std::binary_search(next.live_.begin(), next.live_.end(),
+                           hosts_[role])) {
+      continue;
+    }
+    std::size_t best = next.live_.front();
+    for (const std::size_t h : next.live_) {
+      if (load[h] < load[best]) best = h;
+    }
+    next.hosts_[role] = best;
+    ++load[best];
+  }
+  return next;
+}
+
+std::size_t BlockAssignment::host(std::size_t role) const {
+  STTSV_REQUIRE(role < hosts_.size(), "role out of range");
+  return hosts_[role];
+}
+
+std::vector<std::size_t> BlockAssignment::roles_of(std::size_t rank) const {
+  std::vector<std::size_t> roles;
+  for (std::size_t role = 0; role < hosts_.size(); ++role) {
+    if (hosts_[role] == rank) roles.push_back(role);
+  }
+  return roles;
+}
+
+void BlockAssignment::validate() const {
+  STTSV_CHECK(!live_.empty(), "assignment has no live ranks");
+  STTSV_CHECK(std::is_sorted(live_.begin(), live_.end()),
+              "live set must be sorted");
+  std::vector<std::size_t> load(hosts_.size(), 0);
+  for (const std::size_t h : hosts_) {
+    STTSV_CHECK(std::binary_search(live_.begin(), live_.end(), h),
+                "role hosted on a dead rank");
+    ++load[h];
+  }
+  std::size_t lo = hosts_.size();
+  std::size_t hi = 0;
+  for (const std::size_t h : live_) {
+    STTSV_CHECK(load[h] >= 1, "live rank hosts no role");
+    lo = std::min(lo, load[h]);
+    hi = std::max(hi, load[h]);
+  }
+  STTSV_CHECK(hi - lo <= 1, "role loads unbalanced beyond one");
+}
+
+}  // namespace sttsv::elastic

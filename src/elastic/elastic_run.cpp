@@ -1,0 +1,294 @@
+#include "elastic/elastic_run.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/block_kernels.hpp"
+#include "obs/trace.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::elastic {
+
+namespace {
+
+using partition::Share;
+using partition::TetraPartition;
+using partition::VectorDistribution;
+using simt::Delivery;
+using simt::Envelope;
+
+/// Row blocks both roles require: R_sp ∩ R_rp (ascending) — the Steiner
+/// property caps this at 2 for distinct roles (Section 7.2.2).
+std::vector<std::size_t> common_blocks(const TetraPartition& part,
+                                       std::size_t sp, std::size_t rp) {
+  const auto& a = part.R(sp);
+  const auto& b = part.R(rp);
+  std::vector<std::size_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+core::ParallelRunResult elastic_sttsv(simt::Exchanger& exchanger,
+                                      const TetraPartition& part,
+                                      const VectorDistribution& dist,
+                                      const tensor::SymTensor3& a,
+                                      const std::vector<double>& x,
+                                      const BlockAssignment& assign,
+                                      simt::Transport transport,
+                                      simt::PipelineMode pipeline) {
+  simt::Machine& machine = exchanger.machine();
+  const std::size_t num_roles = part.num_processors();
+  const std::size_t b = dist.block_length_b();
+  const std::size_t n = dist.logical_n();
+  STTSV_REQUIRE(assign.num_roles() == num_roles,
+                "assignment must cover every partition role");
+  STTSV_REQUIRE(machine.num_ranks() == num_roles,
+                "hosts live in the original rank space");
+  STTSV_REQUIRE(a.dim() == n, "tensor dimension must match distribution");
+  STTSV_REQUIRE(x.size() == n, "input vector length mismatch");
+
+  const std::vector<std::size_t>& live = assign.live_ranks();
+  const std::size_t chunks =
+      pipeline == simt::PipelineMode::kDoubleBuffered && live.size() > 1 ? 2
+                                                                         : 1;
+
+  // roles_by_host[h]: roles hosted by h, ascending (empty off the live
+  // set). The deterministic walk below iterates these everywhere.
+  std::vector<std::vector<std::size_t>> roles_by_host(num_roles);
+  for (const std::size_t h : live) roles_by_host[h] = assign.roles_of(h);
+
+  // Role pairs that exchange: rp requires a block sp also requires.
+  const auto pair_blocks = [&](std::size_t sp, std::size_t rp) {
+    return sp == rp ? std::vector<std::size_t>{} : common_blocks(part, sp, rp);
+  };
+
+  std::vector<double> x_pad(dist.padded_n(), 0.0);
+  std::copy(x.begin(), x.end(), x_pad.begin());
+
+  // ---- Phase 1: x shares, keyed by role. -----------------------------
+  obs::Span x_phase("elastic.x-shares", obs::Category::kSuperstep);
+  std::vector<std::map<std::size_t, std::vector<double>>> x_loc(num_roles);
+  for (const std::size_t h : live) {
+    for (const std::size_t role : roles_by_host[h]) {
+      for (const std::size_t i : part.R(role)) {
+        auto& blockvec = x_loc[role][i];
+        blockvec.assign(b, 0.0);
+        const Share s = dist.share(i, role);
+        std::copy_n(x_pad.data() + i * b + s.offset, s.length,
+                    blockvec.data() + s.offset);
+      }
+    }
+  }
+  // Co-hosted role pairs: the share lands by local copy, off the wire —
+  // the elastic analogue of "self-sends are local copies".
+  for (const std::size_t h : live) {
+    for (const std::size_t sp : roles_by_host[h]) {
+      for (const std::size_t rp : roles_by_host[h]) {
+        for (const std::size_t i : pair_blocks(sp, rp)) {
+          const Share s = dist.share(i, sp);
+          std::copy_n(x_pad.data() + i * b + s.offset, s.length,
+                      x_loc[rp][i].data() + s.offset);
+        }
+      }
+    }
+  }
+
+  // One envelope per ordered live host pair per chunk: sending roles of
+  // hf ascending x receiving roles of ht ascending x common blocks.
+  const auto pack_x = [&](std::size_t c) {
+    std::vector<std::vector<Envelope>> outboxes(num_roles);
+    for (const std::size_t hf : live) {
+      for (const std::size_t ht : live) {
+        if (hf == ht || (hf + ht) % chunks != c) continue;
+        std::size_t words = 0;
+        for (const std::size_t sp : roles_by_host[hf]) {
+          for (const std::size_t rp : roles_by_host[ht]) {
+            for (const std::size_t i : pair_blocks(sp, rp)) {
+              words += dist.share(i, sp).length;
+            }
+          }
+        }
+        if (words == 0) continue;
+        simt::PooledBuffer buf = machine.pool().acquire(hf, words);
+        for (const std::size_t sp : roles_by_host[hf]) {
+          for (const std::size_t rp : roles_by_host[ht]) {
+            for (const std::size_t i : pair_blocks(sp, rp)) {
+              const Share s = dist.share(i, sp);
+              buf.append(x_pad.data() + i * b + s.offset, s.length);
+            }
+          }
+        }
+        outboxes[hf].push_back(Envelope{ht, std::move(buf)});
+      }
+    }
+    return outboxes;
+  };
+  const auto consume_x = [&](std::vector<std::vector<Delivery>> in) {
+    for (std::size_t ht = 0; ht < in.size(); ++ht) {
+      for (const Delivery& d : in[ht]) {
+        std::size_t cursor = 0;
+        for (const std::size_t sp : roles_by_host[d.from]) {
+          for (const std::size_t rp : roles_by_host[ht]) {
+            for (const std::size_t i : pair_blocks(sp, rp)) {
+              const Share s = dist.share(i, sp);
+              STTSV_CHECK(cursor + s.length <= d.data.size(),
+                          "x delivery shorter than expected");
+              std::copy_n(d.data.data() + cursor, s.length,
+                          x_loc[rp][i].data() + s.offset);
+              cursor += s.length;
+            }
+          }
+        }
+        STTSV_CHECK(cursor == d.data.size(),
+                    "x delivery longer than expected");
+      }
+    }
+  };
+  exchanger.set_phase("x-shares");
+  simt::pipelined_exchange(exchanger, transport, chunks, pipeline, pack_x,
+                           consume_x);
+  x_phase.close();
+
+  // ---- Phases 2+3: kernels per role, partial-y exchange per host. ----
+  std::vector<std::map<std::size_t, std::vector<double>>> y_loc(num_roles);
+  // Contributions into role rp, keyed by sending role sp (wire-delivered
+  // and co-hosted alike): packed share(i, rp) slices over the common
+  // blocks of (sp, rp). Reduced ascending by sp below — the same
+  // floating-point order at every assignment.
+  std::vector<std::map<std::size_t, std::vector<double>>> y_contrib(
+      num_roles);
+  core::ParallelRunResult result;
+  result.ternary_mults.assign(num_roles, 0);
+
+  std::vector<std::vector<std::size_t>> host_chunks(chunks);
+  for (std::size_t idx = 0; idx < live.size(); ++idx) {
+    host_chunks[idx % chunks].push_back(live[idx]);
+  }
+
+  obs::Span y_phase("elastic.y-partials", obs::Category::kSuperstep);
+  const auto pack_y = [&](std::size_t c) {
+    machine.run_ranks(host_chunks[c], [&](std::size_t h) {
+      for (const std::size_t role : roles_by_host[h]) {
+        for (const std::size_t i : part.R(role)) {
+          y_loc[role][i].assign(b, 0.0);
+        }
+        for (const partition::BlockCoord& coord : part.owned_blocks(role)) {
+          core::BlockBuffers buf;
+          buf.x[0] = x_loc[role].at(coord.i).data();
+          buf.x[1] = x_loc[role].at(coord.j).data();
+          buf.x[2] = x_loc[role].at(coord.k).data();
+          buf.y[0] = y_loc[role].at(coord.i).data();
+          buf.y[1] = y_loc[role].at(coord.j).data();
+          buf.y[2] = y_loc[role].at(coord.k).data();
+          result.ternary_mults[role] += core::apply_block(a, coord, b, buf);
+        }
+        x_loc[role].clear();
+      }
+    });
+    std::vector<std::vector<Envelope>> y_out(num_roles);
+    for (const std::size_t hf : host_chunks[c]) {
+      // Co-hosted contributions: straight into the reduction buffers.
+      for (const std::size_t sp : roles_by_host[hf]) {
+        for (const std::size_t rp : roles_by_host[hf]) {
+          const std::vector<std::size_t> common = pair_blocks(sp, rp);
+          if (common.empty()) continue;
+          auto& packed = y_contrib[rp][sp];
+          for (const std::size_t i : common) {
+            const Share s = dist.share(i, rp);
+            const double* src = y_loc[sp].at(i).data() + s.offset;
+            packed.insert(packed.end(), src, src + s.length);
+          }
+        }
+      }
+      for (const std::size_t ht : live) {
+        if (ht == hf) continue;
+        // Send the *receiving role's* share of each common row block.
+        std::size_t words = 0;
+        for (const std::size_t sp : roles_by_host[hf]) {
+          for (const std::size_t rp : roles_by_host[ht]) {
+            for (const std::size_t i : pair_blocks(sp, rp)) {
+              words += dist.share(i, rp).length;
+            }
+          }
+        }
+        if (words == 0) continue;
+        simt::PooledBuffer buf = machine.pool().acquire(hf, words);
+        for (const std::size_t sp : roles_by_host[hf]) {
+          for (const std::size_t rp : roles_by_host[ht]) {
+            for (const std::size_t i : pair_blocks(sp, rp)) {
+              const Share s = dist.share(i, rp);
+              buf.append(y_loc[sp].at(i).data() + s.offset, s.length);
+            }
+          }
+        }
+        y_out[hf].push_back(Envelope{ht, std::move(buf)});
+      }
+    }
+    return y_out;
+  };
+  const auto consume_y = [&](std::vector<std::vector<Delivery>> in) {
+    for (std::size_t ht = 0; ht < in.size(); ++ht) {
+      for (const Delivery& d : in[ht]) {
+        std::size_t cursor = 0;
+        for (const std::size_t sp : roles_by_host[d.from]) {
+          for (const std::size_t rp : roles_by_host[ht]) {
+            const std::vector<std::size_t> common = pair_blocks(sp, rp);
+            if (common.empty()) continue;
+            auto& packed = y_contrib[rp][sp];
+            for (const std::size_t i : common) {
+              const Share s = dist.share(i, rp);
+              STTSV_CHECK(cursor + s.length <= d.data.size(),
+                          "y delivery shorter than expected");
+              packed.insert(packed.end(), d.data.data() + cursor,
+                            d.data.data() + cursor + s.length);
+              cursor += s.length;
+            }
+          }
+        }
+        STTSV_CHECK(cursor == d.data.size(),
+                    "y delivery longer than expected");
+      }
+    }
+  };
+  exchanger.set_phase("y-partials");
+  simt::pipelined_exchange(exchanger, transport, chunks, pipeline, pack_y,
+                           consume_y);
+
+  // Own share = local partial + contributions, sending roles ascending —
+  // the identity-assignment (== serialized P-rank) reduction order.
+  std::vector<double> y_pad(dist.padded_n(), 0.0);
+  for (std::size_t rp = 0; rp < num_roles; ++rp) {
+    for (const std::size_t i : part.R(rp)) {
+      const Share s = dist.share(i, rp);
+      for (std::size_t off = 0; off < s.length; ++off) {
+        y_pad[i * b + s.offset + off] += y_loc[rp].at(i)[s.offset + off];
+      }
+    }
+    for (const auto& [sp, packed] : y_contrib[rp]) {
+      std::size_t cursor = 0;
+      for (const std::size_t i : pair_blocks(sp, rp)) {
+        const Share s = dist.share(i, rp);
+        STTSV_CHECK(cursor + s.length <= packed.size(),
+                    "y contribution shorter than expected");
+        for (std::size_t off = 0; off < s.length; ++off) {
+          y_pad[i * b + s.offset + off] += packed[cursor + off];
+        }
+        cursor += s.length;
+      }
+      STTSV_CHECK(cursor == packed.size(),
+                  "y contribution longer than expected");
+    }
+  }
+
+  machine.ledger().verify_conservation();
+  result.y.assign(y_pad.begin(), y_pad.begin() + static_cast<long>(n));
+  const simt::LedgerMaxima maxima = machine.ledger().maxima();
+  result.max_words_sent = maxima.words_sent;
+  result.max_words_received = maxima.words_received;
+  return result;
+}
+
+}  // namespace sttsv::elastic

@@ -1,0 +1,46 @@
+#pragma once
+// Role-hosted parallel STTSV (DESIGN.md §15): Algorithm 5 executed under
+// a BlockAssignment that maps the partition's P roles onto a (possibly
+// smaller) set of live host ranks.
+//
+// The driver is core::parallel_sttsv with one level of indirection:
+// kernels, x shares and partial-y reductions are all keyed by *role*;
+// the wire is keyed by *host*. Each ordered host pair moves exactly one
+// aggregated envelope per phase chunk whose layout both sides replay
+// deterministically (sending roles ascending x receiving roles ascending
+// x common row blocks ascending); role pairs co-hosted on one rank are
+// local copies and never touch the wire or the ledger.
+//
+// The partial-y reduction orders contributions by sending *role*, not by
+// host — the same floating-point order at every assignment — so y is
+// bitwise identical to core::parallel_sttsv at the identity assignment
+// AND invariant across shrinks: the recovery property test compares a
+// crashed-then-shrunk run against a fault-free run at P' byte for byte.
+
+#include <vector>
+
+#include "core/parallel_sttsv.hpp"
+#include "elastic/assignment.hpp"
+#include "partition/tetra_partition.hpp"
+#include "partition/vector_distribution.hpp"
+#include "simt/machine.hpp"
+#include "simt/pipeline.hpp"
+#include "simt/reliable_exchange.hpp"
+#include "tensor/sym_tensor.hpp"
+
+namespace sttsv::elastic {
+
+/// Runs y = A x₂ x x₃ x with the partition's roles placed by `assign`.
+/// Requirements: machine.num_ranks() == part.num_processors() (hosts are
+/// drawn from the original rank space), assign.num_roles() ==
+/// part.num_processors(), every assigned host alive on the machine.
+/// ternary_mults in the result are per-role (the partition's own
+/// accounting), not per-host.
+core::ParallelRunResult elastic_sttsv(
+    simt::Exchanger& exchanger, const partition::TetraPartition& part,
+    const partition::VectorDistribution& dist, const tensor::SymTensor3& a,
+    const std::vector<double>& x, const BlockAssignment& assign,
+    simt::Transport transport,
+    simt::PipelineMode pipeline = simt::PipelineMode::kDoubleBuffered);
+
+}  // namespace sttsv::elastic

@@ -73,6 +73,8 @@ const char* category_name(Category c) {
       return "pipeline";
     case Category::kServe:
       return "serve";
+    case Category::kRecovery:
+      return "recovery";
     case Category::kOther:
       return "other";
   }

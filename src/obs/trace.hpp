@@ -49,6 +49,7 @@ enum class Category : std::uint8_t {
   kEngineFlush,
   kPipeline,
   kServe,
+  kRecovery,
   kOther,
 };
 

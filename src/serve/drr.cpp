@@ -18,6 +18,12 @@ void DrrScheduler::enqueue(std::size_t lane, std::uint64_t handle) {
   ++backlog_;
 }
 
+void DrrScheduler::requeue_front(std::size_t lane, std::uint64_t handle) {
+  STTSV_REQUIRE(lane < lanes_.size(), "DRR lane out of range");
+  lanes_[lane].q.push_front(handle);
+  ++backlog_;
+}
+
 std::size_t DrrScheduler::lane_depth(std::size_t lane) const {
   STTSV_REQUIRE(lane < lanes_.size(), "DRR lane out of range");
   return lanes_[lane].q.size();

@@ -33,6 +33,14 @@ class DrrScheduler {
   /// Appends a job handle to the lane's FIFO.
   void enqueue(std::size_t lane, std::uint64_t handle);
 
+  /// Returns a picked-but-not-served handle to the FRONT of its lane —
+  /// the dispatch-failure path: a batch that faulted mid-run puts its
+  /// picks back in reverse pick order so lane FIFO order is preserved
+  /// for the retry. Deficit already spent on the pick is not restored
+  /// (the lane was served an opportunity; re-crediting it would let a
+  /// faulting tenant farm extra credit from failed batches).
+  void requeue_front(std::size_t lane, std::uint64_t handle);
+
   /// Forms the next batch: up to `width` jobs in deterministic DRR order.
   /// Returns fewer (possibly zero) when the backlog is smaller.
   [[nodiscard]] std::vector<Pick> next_batch(std::size_t width);

@@ -25,8 +25,9 @@ Frontend::Frontend(simt::Machine& machine,
       opts_(opts),
       engine_(machine, plan_, a,
               batch::EngineOptions{.max_batch_size = opts.batch_width,
-                                   .exchanger = nullptr,
-                                   .pipeline = opts.pipeline}) {
+                                   .exchanger = opts.exchanger,
+                                   .pipeline = opts.pipeline}),
+      base_beta_ns_(opts.service_beta_ns) {
   STTSV_REQUIRE(opts_.batch_width >= 1, "batch width must be >= 1");
   STTSV_REQUIRE(opts_.global_queue_depth >= 1,
                 "global queue depth must be >= 1");
@@ -58,6 +59,15 @@ double Frontend::saturation_jobs_per_s() const {
   const double batch_ns = static_cast<double>(
       opts_.service_alpha_ns + opts_.service_beta_ns * opts_.batch_width);
   return width / batch_ns * 1e9;
+}
+
+void Frontend::degrade_capacity(std::size_t alive) {
+  const std::size_t P = machine_.num_ranks();
+  STTSV_REQUIRE(alive >= 1 && alive <= P,
+                "alive count must be in [1, num_ranks]");
+  // Ceiling division: a shrunken cluster never looks cheaper than full
+  // width, and alive == P restores the construction-time beta exactly.
+  opts_.service_beta_ns = (base_beta_ns_ * P + alive - 1) / alive;
 }
 
 std::size_t Frontend::in_flight(TenantId tenant) {
@@ -154,17 +164,60 @@ void Frontend::run_batch(std::uint64_t start_ns) {
   const std::uint64_t messages0 = ledger.total_messages();
   const std::uint64_t rounds0 = ledger.rounds();
 
+  // Attribute a ledger delta across lanes: every lane gets the floor
+  // share, the first (delta mod B) lanes in batch order one extra word —
+  // deterministic, and the shares sum exactly to the delta.
+  const auto share = [B](std::uint64_t total, std::size_t v) {
+    return total / B + (v < total % B ? 1 : 0);
+  };
+
   // The engine queue is empty between serve batches and B <= the engine's
   // max_batch_size, so flush() runs exactly one aggregated batch whose
-  // lane order is the DRR pick order.
+  // lane order is the DRR pick order. A simt::FaultError (fail-fast
+  // exchanger, retry budget spent) leaves that batch queued in the
+  // engine; we reclaim the inputs, re-park the jobs under their ORIGINAL
+  // handles and seq numbers, and put the handles back at the front of
+  // their lanes in reverse pick order — so per-lane FIFO order, in-flight
+  // accounting, and admission quotas are exactly as before the dispatch.
+  // The faulted attempt's ledger delta (retries are real traffic) is
+  // still attributed to the picked lanes so per-tenant shares keep
+  // summing exactly to the machine ledger.
   std::vector<std::vector<double>> ys(B);
-  for (std::size_t v = 0; v < B; ++v) {
-    engine_.submit(std::move(jobs[v].x),
-                   [&ys, v](std::size_t, std::vector<double> y) {
-                     ys[v] = std::move(y);
-                   });
+  try {
+    for (std::size_t v = 0; v < B; ++v) {
+      engine_.submit(std::move(jobs[v].x),
+                     [&ys, v](std::size_t, std::vector<double> y) {
+                       ys[v] = std::move(y);
+                     });
+    }
+    engine_.flush();
+  } catch (const simt::FaultError&) {
+    const simt::CommLedger& led = machine_.ledger();
+    const std::uint64_t dw = led.total_words() - words0;
+    const std::uint64_t doh = led.total_overhead_words() - overhead0;
+    const std::uint64_t dm = led.total_messages() - messages0;
+    const std::uint64_t dr = led.rounds() - rounds0;
+    for (std::size_t v = 0; v < B; ++v) {
+      TenantStats& ts = tenants_[jobs[v].tenant];
+      ts.words += share(dw, v);
+      ts.overhead_words += share(doh, v);
+      ts.messages += share(dm, v);
+      ts.rounds += share(dr, v);
+    }
+    std::vector<std::vector<double>> xs = engine_.cancel_pending();
+    STTSV_CHECK(xs.size() == B, "faulted batch did not stay queued intact");
+    for (std::size_t v = 0; v < B; ++v) {
+      jobs[v].x = std::move(xs[v]);
+      jobs_.emplace(picks[v].second, std::move(jobs[v]));
+    }
+    for (std::size_t v = B; v-- > 0;) {
+      drr_.requeue_front(picks[v].first, picks[v].second);
+    }
+    ++stats_.dispatch_failures;
+    // busy_until_ / batches_run are untouched: virtually, the batch
+    // never started.
+    throw;
   }
-  engine_.flush();
 
   const std::uint64_t delta_words = ledger.total_words() - words0;
   const std::uint64_t delta_overhead =
@@ -181,12 +234,6 @@ void Frontend::run_batch(std::uint64_t start_ns) {
   stats_.batched_jobs += B;
   stats_.largest_batch = std::max(stats_.largest_batch, B);
 
-  // Attribute the batch's ledger delta across lanes: every lane gets the
-  // floor share, the first (delta mod B) lanes in batch order one extra
-  // word — deterministic, and the shares sum exactly to the delta.
-  const auto share = [B](std::uint64_t total, std::size_t v) {
-    return total / B + (v < total % B ? 1 : 0);
-  };
   for (std::size_t v = 0; v < B; ++v) {
     TenantStats& ts = tenants_[jobs[v].tenant];
     obs::Span tenant_span("serve.tenant-slice", obs::Category::kServe,
@@ -227,6 +274,7 @@ void Frontend::publish_metrics(obs::MetricsRegistry& out,
   out.set_counter(prefix + ".batches_run", stats_.batches_run);
   out.set_counter(prefix + ".batched_jobs", stats_.batched_jobs);
   out.set_counter(prefix + ".largest_batch", stats_.largest_batch);
+  out.set_counter(prefix + ".dispatch_failures", stats_.dispatch_failures);
   out.set_counter(prefix + ".backlog", drr_.backlog());
   for (const TenantStats& ts : tenants_) {
     const std::string base = prefix + ".tenant." + ts.name;

@@ -63,6 +63,14 @@ struct FrontendOptions {
   std::uint64_t service_beta_ns = 250'000;
   /// Phase schedule forwarded to the engine (outputs identical either way).
   simt::PipelineMode pipeline = simt::PipelineMode::kDoubleBuffered;
+  /// Optional resilience seam forwarded to the engine (must wrap the
+  /// front end's machine; non-owning, must outlive the front end). With
+  /// a fail-fast ReliableExchange, a faulted batch raises simt::FaultError
+  /// out of submit()/advance_to()/drain() AFTER the front end has re-
+  /// parked the batch's jobs (same handles, lane-FIFO order preserved) —
+  /// no request is lost and no quota leaks; the caller recovers (e.g.
+  /// elastic shrink + rebind) and pumps again.
+  simt::Exchanger* exchanger = nullptr;
 };
 
 /// One finished job as delivered to its submit callback.
@@ -92,6 +100,8 @@ struct FrontendStats {
   std::uint64_t batches_run = 0;
   std::uint64_t batched_jobs = 0;  // sum of batch sizes
   std::size_t largest_batch = 0;
+  /// Batches that raised simt::FaultError mid-run and were re-parked.
+  std::uint64_t dispatch_failures = 0;
 };
 
 /// Single-threaded like the engine it drives (the simulated machine has
@@ -136,6 +146,14 @@ class Frontend {
   /// relative to this.
   [[nodiscard]] double saturation_jobs_per_s() const;
 
+  /// Graceful capacity degradation after an elastic shrink: rescales the
+  /// per-job service cost to `alive` survivors out of the machine's P
+  /// ranks (beta -> beta * P / alive, rounded up), so admission and the
+  /// virtual latency numbers reflect the smaller cluster. Idempotent in
+  /// `alive` (always rescales from the construction-time beta); restore
+  /// full capacity with alive == P.
+  void degrade_capacity(std::size_t alive);
+
   /// Publishes global counters plus per-tenant counters, ledger shares
   /// and latency percentiles as "<prefix>.*" / "<prefix>.tenant.<name>.*"
   /// (set absolutely, so re-export is idempotent).
@@ -170,6 +188,8 @@ class Frontend {
   std::uint64_t next_handle_ = 0;
   std::uint64_t now_ns_ = 0;
   std::uint64_t busy_until_ns_ = 0;
+  /// Construction-time service beta, the degrade_capacity() baseline.
+  std::uint64_t base_beta_ns_ = 0;
   FrontendStats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "simt/fault_injector.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "obs/metrics.hpp"
@@ -16,13 +17,35 @@ FaultInjector::FaultInjector(FaultConfig config)
     : config_(config), rng_(config.seed) {
   STTSV_REQUIRE(valid_prob(config_.drop) && valid_prob(config_.corrupt) &&
                     valid_prob(config_.duplicate) &&
-                    valid_prob(config_.reorder) && valid_prob(config_.stall),
+                    valid_prob(config_.reorder) &&
+                    valid_prob(config_.stall) && valid_prob(config_.crash),
                 "fault probabilities must be in [0, 1]");
 }
 
 void FaultInjector::begin_exchange() {
   ++exchange_;
   stall_this_exchange_.clear();
+  crash_rolled_.clear();
+  for (const auto& [rank, at] : scheduled_crashes_) {
+    if (at == exchange_) kill(rank);
+  }
+}
+
+void FaultInjector::schedule_crash(std::size_t rank,
+                                   std::uint64_t exchange_index) {
+  STTSV_REQUIRE(exchange_index > exchange_,
+                "crash must be scheduled for a future exchange");
+  scheduled_crashes_[rank] = exchange_index;
+}
+
+bool FaultInjector::is_dead(std::size_t rank) const {
+  return std::binary_search(dead_.begin(), dead_.end(), rank);
+}
+
+void FaultInjector::kill(std::size_t rank) {
+  if (is_dead(rank)) return;
+  dead_.insert(std::lower_bound(dead_.begin(), dead_.end(), rank), rank);
+  log_.push_back({exchange_, FaultKind::kCrash, rank, rank, 0});
 }
 
 bool FaultInjector::stalled(std::size_t rank) {
@@ -36,6 +59,14 @@ bool FaultInjector::stalled(std::size_t rank) {
 FaultInjector::Action FaultInjector::on_frame(std::size_t from,
                                               std::size_t to,
                                               PooledBuffer& data) {
+  if (is_dead(from) || is_dead(to)) return Action::kDrop;
+  if (config_.crash > 0.0 && !crash_rolled_.count(from)) {
+    crash_rolled_.emplace(from, true);
+    if (rng_.next_unit() < config_.crash) {
+      kill(from);
+      return Action::kDrop;
+    }
+  }
   if (stalled(from)) {
     log_.push_back(
         {exchange_, FaultKind::kStall, from, to, data.size()});
@@ -77,6 +108,7 @@ void FaultInjector::publish_metrics(obs::MetricsRegistry& out,
   std::uint64_t duplicates = 0;
   std::uint64_t reorders = 0;
   std::uint64_t stalls = 0;
+  std::uint64_t crashes = 0;
   for (const FaultEvent& e : log_) {
     switch (e.kind) {
       case FaultKind::kDrop: ++drops; break;
@@ -84,6 +116,7 @@ void FaultInjector::publish_metrics(obs::MetricsRegistry& out,
       case FaultKind::kDuplicate: ++duplicates; break;
       case FaultKind::kReorder: ++reorders; break;
       case FaultKind::kStall: ++stalls; break;
+      case FaultKind::kCrash: ++crashes; break;
     }
   }
   out.set_counter(prefix + ".drop", drops);
@@ -91,6 +124,8 @@ void FaultInjector::publish_metrics(obs::MetricsRegistry& out,
   out.set_counter(prefix + ".duplicate", duplicates);
   out.set_counter(prefix + ".reorder", reorders);
   out.set_counter(prefix + ".stall", stalls);
+  out.set_counter(prefix + ".crash", crashes);
+  out.set_counter(prefix + ".dead_ranks", dead_.size());
   out.set_counter(prefix + ".total", log_.size());
   out.set_counter(prefix + ".exchanges_seen", exchange_);
 }

@@ -7,9 +7,14 @@
 //  * corrupt it (flip one bit of one payload/header word in flight),
 //  * duplicate it (deliver a second copy, charged as overhead),
 //  * stall a rank (straggler model: every frame the rank sends in the
-//    current exchange misses the round and is lost), or
+//    current exchange misses the round and is lost),
 //  * reorder an inbox (permute delivery order after the deterministic
-//    by-sender sort).
+//    by-sender sort), or
+//  * crash a rank (permanent: from its crash exchange on, every frame the
+//    rank sends or should receive silently vanishes — the fail-stop model,
+//    distinct from the transient stall). Crashes can be scheduled at an
+//    exact exchange index for replayable property tests, or rolled
+//    probabilistically per rank per exchange.
 //
 // All decisions come from one seeded xoshiro stream consumed in the
 // machine's deterministic iteration order, so a (seed, config, traffic)
@@ -45,6 +50,10 @@ struct FaultConfig {
   double duplicate = 0.0;
   double reorder = 0.0;
   double stall = 0.0;
+  /// Probability that a sending rank dies permanently, rolled once per
+  /// rank per exchange (first frame it sends). Guarded so zero-crash
+  /// configs consume no RNG — existing seeded fault patterns are stable.
+  double crash = 0.0;
   std::uint64_t seed = 0xFA017ULL;
 };
 
@@ -54,11 +63,12 @@ enum class FaultKind : std::uint8_t {
   kDuplicate,
   kReorder,
   kStall,
+  kCrash,
 };
 
 /// One injected fault, enough to replay or audit the run. `detail` is
 /// kind-specific: corrupt = flipped word index, reorder = inbox size,
-/// stall/drop/duplicate = frame word count.
+/// stall/drop/duplicate = frame word count, crash = 0.
 struct FaultEvent {
   std::uint64_t exchange_index = 0;
   FaultKind kind = FaultKind::kDrop;
@@ -76,7 +86,23 @@ class FaultInjector {
   enum class Action { kDeliver, kDrop, kDuplicate };
 
   /// Called by Machine::exchange before each exchange's frames flow.
+  /// Applies any crash scheduled for the new exchange index.
   void begin_exchange();
+
+  /// Schedules rank to die at the start of exchange `exchange_index`
+  /// (1-based, matching exchanges_seen() after begin_exchange). The
+  /// deterministic complement of the probabilistic `crash` rate: property
+  /// tests pin the crash site exactly. Scheduling the past is an error.
+  void schedule_crash(std::size_t rank, std::uint64_t exchange_index);
+
+  /// True once rank has crashed. Dead ranks' frames (sent or received)
+  /// are dropped without log entries — death is one event, not a stream.
+  [[nodiscard]] bool is_dead(std::size_t rank) const;
+
+  /// Sorted ranks that have crashed so far.
+  [[nodiscard]] const std::vector<std::size_t>& dead_ranks() const {
+    return dead_;
+  }
 
   /// Rolls the fate of one frame from -> to; may flip a bit of `data`
   /// in place (corrupt). Stalled senders lose every frame this exchange.
@@ -98,12 +124,20 @@ class FaultInjector {
 
  private:
   [[nodiscard]] bool stalled(std::size_t rank);
+  void kill(std::size_t rank);
 
   FaultConfig config_;
   Rng rng_;
   std::uint64_t exchange_ = 0;
   // Stall fate of each sending rank, rolled once per exchange on first use.
   std::unordered_map<std::size_t, bool> stall_this_exchange_;
+  // Crash fate of each sending rank, rolled once per exchange on first use
+  // (only when config_.crash > 0).
+  std::unordered_map<std::size_t, bool> crash_rolled_;
+  // Sorted, permanently dead ranks.
+  std::vector<std::size_t> dead_;
+  // rank -> exchange index at which a scheduled crash fires.
+  std::unordered_map<std::size_t, std::uint64_t> scheduled_crashes_;
   std::vector<FaultEvent> log_;
 };
 

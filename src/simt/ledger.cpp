@@ -20,7 +20,9 @@ CommLedger::CommLedger(std::size_t num_ranks)
       msg_sent_(num_ranks, 0),
       msg_received_(num_ranks, 0),
       overhead_sent_(num_ranks, 0),
-      overhead_received_(num_ranks, 0) {
+      overhead_received_(num_ranks, 0),
+      recovery_sent_(num_ranks, 0),
+      recovery_received_(num_ranks, 0) {
   STTSV_REQUIRE(num_ranks >= 1, "ledger needs at least one rank");
   STTSV_REQUIRE(num_ranks < (1ULL << 32), "too many ranks for pair keys");
 }
@@ -47,9 +49,21 @@ void CommLedger::record_overhead(std::size_t from, std::size_t to,
   ++overhead_msgs_;
 }
 
+void CommLedger::record_recovery(std::size_t from, std::size_t to,
+                                 std::size_t words) {
+  STTSV_REQUIRE(from < sent_.size() && to < sent_.size(),
+                "rank out of range");
+  STTSV_REQUIRE(from != to, "self-messages are local copies, not comm");
+  recovery_sent_[from] += words;
+  recovery_received_[to] += words;
+  ++recovery_msgs_;
+}
+
 void CommLedger::add_rounds(std::size_t k) { rounds_ += k; }
 
 void CommLedger::add_overhead_rounds(std::size_t k) { overhead_rounds_ += k; }
+
+void CommLedger::add_recovery_rounds(std::size_t k) { recovery_rounds_ += k; }
 
 void CommLedger::add_modeled_collective_words(std::size_t words_per_rank) {
   modeled_words_ += words_per_rank;
@@ -85,6 +99,16 @@ std::uint64_t CommLedger::overhead_words_received(std::size_t rank) const {
   return overhead_received_[rank];
 }
 
+std::uint64_t CommLedger::recovery_words_sent(std::size_t rank) const {
+  STTSV_REQUIRE(rank < recovery_sent_.size(), "rank out of range");
+  return recovery_sent_[rank];
+}
+
+std::uint64_t CommLedger::recovery_words_received(std::size_t rank) const {
+  STTSV_REQUIRE(rank < recovery_received_.size(), "rank out of range");
+  return recovery_received_[rank];
+}
+
 std::uint64_t CommLedger::max_words_sent() const {
   return *std::max_element(sent_.begin(), sent_.end());
 }
@@ -102,10 +126,22 @@ std::uint64_t CommLedger::max_overhead_words_received() const {
                            overhead_received_.end());
 }
 
+std::uint64_t CommLedger::max_recovery_words_sent() const {
+  return *std::max_element(recovery_sent_.begin(), recovery_sent_.end());
+}
+
+std::uint64_t CommLedger::max_recovery_words_received() const {
+  return *std::max_element(recovery_received_.begin(),
+                           recovery_received_.end());
+}
+
 LedgerMaxima CommLedger::maxima() const {
-  return LedgerMaxima{max_words_sent(), max_words_received(),
+  return LedgerMaxima{max_words_sent(),
+                      max_words_received(),
                       max_overhead_words_sent(),
-                      max_overhead_words_received()};
+                      max_overhead_words_received(),
+                      max_recovery_words_sent(),
+                      max_recovery_words_received()};
 }
 
 std::uint64_t CommLedger::total_words() const {
@@ -123,6 +159,12 @@ std::uint64_t CommLedger::total_messages() const {
 std::uint64_t CommLedger::total_overhead_words() const {
   std::uint64_t total = 0;
   for (const auto w : overhead_sent_) total += w;
+  return total;
+}
+
+std::uint64_t CommLedger::total_recovery_words() const {
+  std::uint64_t total = 0;
+  for (const auto w : recovery_sent_) total += w;
   return total;
 }
 
@@ -145,6 +187,13 @@ void CommLedger::to_metrics(obs::MetricsRegistry& out,
   out.set_counter(prefix + ".overhead.total_words", total_overhead_words());
   out.set_counter(prefix + ".overhead.total_messages", overhead_msgs_);
   out.set_counter(prefix + ".overhead.rounds", overhead_rounds_);
+  out.set_counter(prefix + ".recovery.max_words_sent",
+                  m.recovery_words_sent);
+  out.set_counter(prefix + ".recovery.max_words_received",
+                  m.recovery_words_received);
+  out.set_counter(prefix + ".recovery.total_words", total_recovery_words());
+  out.set_counter(prefix + ".recovery.total_messages", recovery_msgs_);
+  out.set_counter(prefix + ".recovery.rounds", recovery_rounds_);
   out.set_counter(prefix + ".modeled_collective_words", modeled_words_);
   out.set_counter(prefix + ".active_pairs", pair_.size());
   for (std::size_t p = 0; p < sent_.size(); ++p) {
@@ -156,6 +205,8 @@ void CommLedger::to_metrics(obs::MetricsRegistry& out,
                     overhead_sent_[p]);
     out.set_counter(prefix + ".overhead.words_received" + rank,
                     overhead_received_[p]);
+    out.set_counter(prefix + ".recovery.words_sent" + rank,
+                    recovery_sent_[p]);
   }
 }
 
@@ -164,21 +215,33 @@ void CommLedger::verify_conservation() const {
   std::uint64_t r = 0;
   std::uint64_t os = 0;
   std::uint64_t orx = 0;
+  std::uint64_t rs = 0;
+  std::uint64_t rr = 0;
   for (std::size_t p = 0; p < sent_.size(); ++p) {
     s += sent_[p];
     r += received_[p];
     os += overhead_sent_[p];
     orx += overhead_received_[p];
+    rs += recovery_sent_[p];
+    rr += recovery_received_[p];
   }
   STTSV_CHECK(s == r, "ledger conservation violated (sent != received)");
   STTSV_CHECK(os == orx,
               "ledger conservation violated (overhead sent != received)");
+  STTSV_CHECK(rs == rr,
+              "ledger conservation violated (recovery sent != received)");
 }
 
 void CommLedger::debug_skew_sent_for_test(std::size_t rank,
                                           std::uint64_t words) {
   STTSV_REQUIRE(rank < sent_.size(), "rank out of range");
   sent_[rank] += words;
+}
+
+void CommLedger::debug_skew_recovery_sent_for_test(std::size_t rank,
+                                                   std::uint64_t words) {
+  STTSV_REQUIRE(rank < recovery_sent_.size(), "rank out of range");
+  recovery_sent_[rank] += words;
 }
 
 }  // namespace sttsv::simt

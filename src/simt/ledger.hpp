@@ -10,7 +10,7 @@
 //    a bandwidth-optimal All-to-All takes P-1 steps each costing the
 //    maximum per-pair message size (so empty slots still pay).
 //
-// Measured traffic is split into two channels (DESIGN.md §10):
+// Measured traffic is split into three channels (DESIGN.md §10, §15):
 //
 //  * goodput — unique useful payload words, the quantity Theorem 5.2
 //    bounds. Under the resilient protocol each logical payload is charged
@@ -21,6 +21,11 @@
 //    injected duplicate deliveries, and degraded-mode replays. Overhead
 //    rounds (ACK rounds, retries, backoff) are counted separately from
 //    goodput rounds for the same reason.
+//  * recovery — rank-loss redistribution traffic: the vector slices moved
+//    when orphaned Steiner blocks are re-homed onto survivors after a
+//    crash (DESIGN.md §15). Kept apart from overhead so the measured
+//    redistribution cost can be checked word-for-word against the
+//    block-movement diff computed by the elastic planner.
 
 #include <cstddef>
 #include <cstdint>
@@ -43,6 +48,8 @@ struct LedgerMaxima {
   std::uint64_t words_received = 0;
   std::uint64_t overhead_words_sent = 0;
   std::uint64_t overhead_words_received = 0;
+  std::uint64_t recovery_words_sent = 0;
+  std::uint64_t recovery_words_received = 0;
 };
 
 class CommLedger {
@@ -64,6 +71,15 @@ class CommLedger {
   /// rounds, backoff waits) rather than on goodput delivery.
   void add_overhead_rounds(std::size_t k);
 
+  /// Records rank-loss redistribution words from -> to (x-share slices
+  /// re-homed onto survivors, DESIGN.md §15). A third channel so the
+  /// elastic planner's modeled diff can be checked against measured
+  /// traffic without touching the Theorem 5.2 goodput quantity.
+  void record_recovery(std::size_t from, std::size_t to, std::size_t words);
+
+  /// Adds k rounds spent moving redistribution traffic after a shrink.
+  void add_recovery_rounds(std::size_t k);
+
   /// Adds modeled collective cost: per-rank words the paper's model charges
   /// for a collective phase (e.g. (P-1) * max message size for All-to-All).
   void add_modeled_collective_words(std::size_t words_per_rank);
@@ -76,6 +92,8 @@ class CommLedger {
   [[nodiscard]] std::uint64_t messages_received(std::size_t rank) const;
   [[nodiscard]] std::uint64_t overhead_words_sent(std::size_t rank) const;
   [[nodiscard]] std::uint64_t overhead_words_received(std::size_t rank) const;
+  [[nodiscard]] std::uint64_t recovery_words_sent(std::size_t rank) const;
+  [[nodiscard]] std::uint64_t recovery_words_received(std::size_t rank) const;
 
   /// max_p (words sent by p + nothing else): the paper's "number of words
   /// sent or received by any processor" uses max over ranks of send (==
@@ -84,18 +102,27 @@ class CommLedger {
   [[nodiscard]] std::uint64_t max_words_received() const;
   [[nodiscard]] std::uint64_t max_overhead_words_sent() const;
   [[nodiscard]] std::uint64_t max_overhead_words_received() const;
+  [[nodiscard]] std::uint64_t max_recovery_words_sent() const;
+  [[nodiscard]] std::uint64_t max_recovery_words_received() const;
 
-  /// All four maxima in one reduction — the set every run result reports.
+  /// All channel maxima in one reduction — the set every run result reports.
   [[nodiscard]] LedgerMaxima maxima() const;
   [[nodiscard]] std::uint64_t total_words() const;
   [[nodiscard]] std::uint64_t total_messages() const;
   [[nodiscard]] std::uint64_t total_overhead_words() const;
+  [[nodiscard]] std::uint64_t total_recovery_words() const;
   [[nodiscard]] std::uint64_t overhead_messages() const {
     return overhead_msgs_;
+  }
+  [[nodiscard]] std::uint64_t recovery_messages() const {
+    return recovery_msgs_;
   }
   [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
   [[nodiscard]] std::uint64_t overhead_rounds() const {
     return overhead_rounds_;
+  }
+  [[nodiscard]] std::uint64_t recovery_rounds() const {
+    return recovery_rounds_;
   }
   [[nodiscard]] std::uint64_t modeled_collective_words() const {
     return modeled_words_;
@@ -117,14 +144,18 @@ class CommLedger {
   void to_metrics(obs::MetricsRegistry& out,
                   const std::string& prefix = "ledger") const;
 
-  /// Conservation check on both channels: Σ sent == Σ received for
-  /// goodput and for overhead (throws InternalError on violation).
+  /// Conservation check on all three channels: Σ sent == Σ received for
+  /// goodput, overhead and recovery (throws InternalError on violation).
   void verify_conservation() const;
 
   /// Test-only mutation hook: skews rank's sent-words counter without a
   /// matching receive so failure-injection tests can prove that
   /// verify_conservation actually fires. Never call outside tests.
   void debug_skew_sent_for_test(std::size_t rank, std::uint64_t words);
+
+  /// Same, for the recovery channel's sent counter.
+  void debug_skew_recovery_sent_for_test(std::size_t rank,
+                                         std::uint64_t words);
 
  private:
   std::vector<std::uint64_t> sent_;
@@ -133,10 +164,14 @@ class CommLedger {
   std::vector<std::uint64_t> msg_received_;
   std::vector<std::uint64_t> overhead_sent_;
   std::vector<std::uint64_t> overhead_received_;
+  std::vector<std::uint64_t> recovery_sent_;
+  std::vector<std::uint64_t> recovery_received_;
   std::unordered_map<std::uint64_t, std::uint64_t> pair_;
   std::uint64_t overhead_msgs_ = 0;
+  std::uint64_t recovery_msgs_ = 0;
   std::uint64_t rounds_ = 0;
   std::uint64_t overhead_rounds_ = 0;
+  std::uint64_t recovery_rounds_ = 0;
   std::uint64_t modeled_words_ = 0;
 };
 

@@ -9,8 +9,33 @@
 namespace sttsv::simt {
 
 Machine::Machine(std::size_t num_ranks)
-    : P_(num_ranks), ledger_(num_ranks), pool_(num_ranks == 0 ? 1 : num_ranks) {
+    : P_(num_ranks),
+      ledger_(num_ranks),
+      pool_(num_ranks == 0 ? 1 : num_ranks),
+      dead_flags_(num_ranks, 0),
+      num_alive_(num_ranks) {
   STTSV_REQUIRE(num_ranks >= 1, "machine needs at least one rank");
+}
+
+void Machine::mark_dead(std::size_t rank) {
+  STTSV_REQUIRE(rank < P_, "rank out of range");
+  if (dead_flags_[rank] != 0) return;
+  STTSV_REQUIRE(num_alive_ > 1, "cannot kill the last live rank");
+  dead_flags_[rank] = 1;
+  --num_alive_;
+  ++membership_epoch_;
+}
+
+std::vector<std::size_t> Machine::dead_ranks() const {
+  std::vector<std::size_t> dead;
+  for (std::size_t p = 0; p < P_; ++p) {
+    if (dead_flags_[p] != 0) dead.push_back(p);
+  }
+  return dead;
+}
+
+void Machine::record_rank_loss(RankLossReport report) {
+  rank_loss_reports_.push_back(std::move(report));
 }
 
 Machine::ExchangeSession::ExchangeSession(Machine& machine, Transport transport)
@@ -42,6 +67,8 @@ std::vector<std::vector<Delivery>> Machine::ExchangeSession::part(
                     "self-sends must be handled as local copies");
       STTSV_REQUIRE(env.overhead_words <= env.data.size(),
                     "envelope overhead exceeds payload size");
+      STTSV_REQUIRE(!env.recovery || env.overhead_words == 0,
+                    "recovery envelopes carry no protocol overhead");
     }
   }
 
@@ -51,6 +78,15 @@ std::vector<std::vector<Delivery>> Machine::ExchangeSession::part(
     // stall rolls and the injection-log window cover the whole session.
     injector->begin_exchange();
     injector_started_ = true;
+  }
+  if (injector != nullptr) {
+    // Sync injector-rolled crashes into machine membership. Deaths rolled
+    // mid-exchange by on_frame are picked up here at the next exchange:
+    // death is detected at exchange granularity (interim frames are still
+    // dropped by the injector's own is_dead check).
+    for (const std::size_t r : injector->dead_ranks()) {
+      machine_.mark_dead(r);
+    }
   }
 
   CommLedger& ledger = machine_.ledger_;
@@ -63,6 +99,37 @@ std::vector<std::vector<Delivery>> Machine::ExchangeSession::part(
                        return a.to < b.to;
                      });
     for (auto& env : outboxes[from]) {
+      // Dead endpoints: the frame silently vanishes, charging nothing and
+      // holding no round slot. Skipping both the send and the receive
+      // side together preserves ledger conservation (record_message
+      // increments sender and receiver atomically). This sits below the
+      // injector, so a degraded replay with the injector detached still
+      // cannot reach a dead peer.
+      if (machine_.dead_flags_[from] != 0 ||
+          machine_.dead_flags_[env.to] != 0) {
+        continue;
+      }
+      if (env.recovery) {
+        ledger.record_recovery(from, env.to, env.data.size());
+        total_recovery_ += env.data.size();
+        max_pair_words_ = std::max(max_pair_words_, env.data.size());
+        ++sends_per_rank_[from];
+        ++recvs_per_rank_[env.to];
+        if (injector != nullptr) {
+          switch (injector->on_frame(from, env.to, env.data)) {
+            case FaultInjector::Action::kDrop:
+              continue;
+            case FaultInjector::Action::kDuplicate:
+              ledger.record_recovery(from, env.to, env.data.size());
+              inboxes[env.to].push_back(Delivery{from, env.data.clone()});
+              break;
+            case FaultInjector::Action::kDeliver:
+              break;
+          }
+        }
+        inboxes[env.to].push_back(Delivery{from, std::move(env.data)});
+        continue;
+      }
       const std::size_t goodput = env.data.size() - env.overhead_words;
       if (goodput > 0) ledger.record_message(from, env.to, goodput);
       if (env.overhead_words > 0) {
@@ -118,13 +185,28 @@ void Machine::ExchangeSession::finish() {
   }
 
   CommLedger& ledger = machine_.ledger_;
-  // An exchange that moves no goodput at all is pure protocol traffic
-  // (ACK rounds, retransmissions): its steps are resilience overhead.
-  const bool overhead_only = total_goodput_ == 0 && total_overhead_ > 0;
+  // Round classification follows the dominant channel: an exchange that
+  // moves goodput is an algorithm step; one that moves only recovery
+  // traffic is a redistribution step; one that moves only protocol
+  // overhead (ACK rounds, retransmissions) is resilience overhead.
+  const bool goodput_rounds = total_goodput_ > 0;
+  const bool recovery_rounds = !goodput_rounds && total_recovery_ > 0;
+  const bool overhead_only =
+      !goodput_rounds && !recovery_rounds && total_overhead_ > 0;
   if (span_.has_value()) {
-    span_->set_arg(total_goodput_ + total_overhead_);
+    span_->set_arg(total_goodput_ + total_overhead_ + total_recovery_);
+    if (recovery_rounds) span_->set_category(obs::Category::kRecovery);
     if (overhead_only) span_->set_category(obs::Category::kRetry);
   }
+  const auto charge_rounds = [&](std::size_t k) {
+    if (recovery_rounds) {
+      ledger.add_recovery_rounds(k);
+    } else if (overhead_only) {
+      ledger.add_overhead_rounds(k);
+    } else {
+      ledger.add_rounds(k);
+    }
+  };
   switch (transport_) {
     case Transport::kPointToPoint: {
       // König: a bipartite multigraph with max degree Δ is Δ-edge-
@@ -136,22 +218,14 @@ void Machine::ExchangeSession::finish() {
       for (std::size_t p = 0; p < machine_.P_; ++p) {
         delta = std::max({delta, sends_per_rank_[p], recvs_per_rank_[p]});
       }
-      if (overhead_only) {
-        ledger.add_overhead_rounds(delta);
-      } else {
-        ledger.add_rounds(delta);
-      }
+      charge_rounds(delta);
       break;
     }
     case Transport::kAllToAll: {
       // Bandwidth-optimal All-to-All: P-1 steps, every step charged the
       // largest per-pair buffer (empty slots still occupy the schedule).
       if (machine_.P_ > 1) {
-        if (overhead_only) {
-          ledger.add_overhead_rounds(machine_.P_ - 1);
-        } else {
-          ledger.add_rounds(machine_.P_ - 1);
-        }
+        charge_rounds(machine_.P_ - 1);
         ledger.add_modeled_collective_words((machine_.P_ - 1) *
                                             max_pair_words_);
       }

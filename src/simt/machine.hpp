@@ -18,10 +18,22 @@
 // reordered within an inbox. The ledger charges traffic at send time, so
 // its conservation invariant holds under every fault pattern; recovering
 // the delivered data is the job of simt::ReliableExchange one layer up.
+//
+// The machine also owns membership truth (DESIGN.md §15): once a rank is
+// marked dead — by the injector's crash model, synced at exchange start —
+// every frame it sends or should receive is silently discarded *below*
+// the injector and the fault-hiding protocols, charging nothing. Death is
+// therefore indistinguishable from permanent silence on the wire, which
+// is exactly what the liveness detector in ReliableExchange keys on, and
+// degraded-mode replays (which bypass the injector) cannot resurrect a
+// dead peer. Detected losses are recorded as RankLossReports here, and
+// each death bumps a membership epoch that invalidates cached plans.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "obs/trace.hpp"
@@ -36,10 +48,14 @@ class FaultInjector;
 /// `overhead_words` words are protocol framing (sequence numbers,
 /// checksums, ACK entries) and are charged to the ledger's overhead
 /// channel; the rest are goodput. Raw algorithm traffic leaves it 0.
+/// `recovery` marks rank-loss redistribution traffic: the whole payload
+/// is charged to the ledger's recovery channel instead (overhead_words
+/// must be 0 — redistribution uses the raw exchange, not the protocol).
 struct Envelope {
   std::size_t to = 0;
   PooledBuffer data;
   std::size_t overhead_words = 0;
+  bool recovery = false;
 };
 
 /// One delivered message: source rank plus payload words. Deliveries are
@@ -48,6 +64,22 @@ struct Envelope {
 struct Delivery {
   std::size_t from = 0;
   PooledBuffer data;
+};
+
+/// Structured verdict of the liveness detector (DESIGN.md §15): which
+/// peers were declared dead, where in the run, and the evidence — how
+/// many consecutive silent attempts each accumulated and how many frames
+/// were still undelivered when the verdict fired. The injection-log
+/// window [begin, end) points into FaultInjector::log() for replay.
+struct RankLossReport {
+  std::vector<std::size_t> dead_ranks;
+  std::string phase;
+  std::uint64_t exchange_index = 0;
+  std::size_t silent_attempts = 0;
+  std::size_t undelivered_frames = 0;
+  std::uint64_t membership_epoch = 0;
+  std::size_t injection_log_begin = 0;
+  std::size_t injection_log_end = 0;
 };
 
 /// How a communication phase is realized on the wire; affects the rounds
@@ -115,6 +147,7 @@ class Machine {
     std::size_t max_pair_words_ = 0;
     std::size_t total_goodput_ = 0;
     std::size_t total_overhead_ = 0;
+    std::size_t total_recovery_ = 0;
   };
 
   /// Opens a multi-part exchange session on this machine.
@@ -158,6 +191,31 @@ class Machine {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
 
+  /// Marks rank permanently dead (idempotent). From now on every frame to
+  /// or from it is discarded uncharged, below injector and protocol, so a
+  /// dead peer stays silent even on degraded-mode replays. Each newly
+  /// dead rank bumps the membership epoch. At least one rank must stay
+  /// alive. Crash-injected deaths are synced here automatically at the
+  /// start of each exchange; detectors call it directly on a verdict.
+  void mark_dead(std::size_t rank);
+
+  [[nodiscard]] bool alive(std::size_t rank) const {
+    return !dead_flags_.empty() ? dead_flags_[rank] == 0 : true;
+  }
+  [[nodiscard]] std::size_t num_alive() const { return num_alive_; }
+  /// Sorted ranks marked dead so far.
+  [[nodiscard]] std::vector<std::size_t> dead_ranks() const;
+  /// Bumped once per newly-dead rank; plan caches key on it.
+  [[nodiscard]] std::uint64_t membership_epoch() const {
+    return membership_epoch_;
+  }
+
+  /// Files a detector verdict for later audit / recovery planning.
+  void record_rank_loss(RankLossReport report);
+  [[nodiscard]] const std::vector<RankLossReport>& rank_loss_reports() const {
+    return rank_loss_reports_;
+  }
+
   /// Resets accounting (e.g. to ignore a warm-up distribution phase).
   void reset_ledger();
 
@@ -166,6 +224,10 @@ class Machine {
   CommLedger ledger_;
   FaultInjector* injector_ = nullptr;
   BufferPool pool_;
+  std::vector<char> dead_flags_;
+  std::size_t num_alive_;
+  std::uint64_t membership_epoch_ = 0;
+  std::vector<RankLossReport> rank_loss_reports_;
 };
 
 }  // namespace sttsv::simt

@@ -176,6 +176,9 @@ std::string describe(const FaultReport& report) {
 FaultError::FaultError(FaultReport report)
     : std::runtime_error(describe(report)), report_(std::move(report)) {}
 
+RankLossError::RankLossError(FaultReport report, RankLossReport loss)
+    : FaultError(std::move(report)), loss_(std::move(loss)) {}
+
 namespace {
 
 /// Default Parts: collect every part's envelopes and run one ordinary
@@ -254,10 +257,16 @@ std::unique_ptr<Exchanger::Parts> DirectExchange::begin_parts(
 }
 
 ReliableExchange::ReliableExchange(Machine& machine, RetryPolicy retry,
-                                   RecoveryPolicy recovery)
-    : Exchanger(machine), retry_(retry), recovery_(recovery) {
+                                   RecoveryPolicy recovery,
+                                   LivenessPolicy liveness)
+    : Exchanger(machine),
+      retry_(retry),
+      recovery_(recovery),
+      liveness_(liveness) {
   STTSV_REQUIRE(retry_.max_attempts >= 1,
                 "retry policy needs at least one attempt");
+  STTSV_REQUIRE(!liveness_.enabled || liveness_.suspect_after_attempts >= 1,
+                "liveness needs at least one silent attempt to suspect");
 }
 
 std::vector<std::vector<Delivery>> ReliableExchange::exchange(
@@ -332,10 +341,35 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
     return true;
   };
 
+  // Liveness evidence: consecutive protocol attempts in which a probed
+  // peer (endpoint of a pending frame) produced no delivery at all. Any
+  // observed frame from a rank — data, ACK, even one too damaged to
+  // decode — proves it alive, because wire metadata (Delivery::from) is
+  // trustworthy in the simulator.
+  std::vector<std::size_t> silent(P, 0);
+
   // One protocol attempt: transmit the given frames, then run an ACK/NACK
   // round. Both wire trips pass through the fault injector.
   auto run_attempt = [&](const std::vector<std::size_t>& send_idx,
                          bool first, Transport t) {
+    std::vector<char> probed(P, 0);
+    std::vector<char> heard(P, 0);
+    for (const std::size_t idx : send_idx) {
+      probed[frames[idx].from] = 1;
+      probed[frames[idx].to] = 1;
+    }
+    const auto settle_silence = [&] {
+      if (!liveness_.enabled) return;
+      for (std::size_t r = 0; r < P; ++r) {
+        if (probed[r] == 0) continue;
+        if (heard[r] != 0) {
+          silent[r] = 0;
+        } else {
+          ++silent[r];
+        }
+      }
+    };
+
     std::vector<std::vector<Envelope>> wire_out(P);
     for (const std::size_t idx : send_idx) {
       PendingFrame& f = frames[idx];
@@ -354,6 +388,7 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
     std::vector<std::map<std::size_t, std::vector<AckEntry>>> acks(P);
     for (std::size_t r = 0; r < P; ++r) {
       for (Delivery& d : wire_in[r]) {
+        heard[d.from] = 1;
         DecodedData dd;
         if (!decode_data(d, r, dd)) {
           ++stats_.corrupt_frames_detected;
@@ -373,7 +408,10 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
 
     bool any_acks = false;
     for (const auto& per_rank : acks) any_acks |= !per_rank.empty();
-    if (!any_acks) return;
+    if (!any_acks) {
+      settle_silence();
+      return;
+    }
 
     // ACK/NACK traffic is pure protocol: the round lands on the overhead
     // channel in any exported trace.
@@ -393,6 +431,7 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
                                     Transport::kPointToPoint);
     for (std::size_t s = 0; s < P; ++s) {
       for (const Delivery& d : ack_in[s]) {
+        heard[d.from] = 1;
         std::vector<AckEntry> entries;
         if (!decode_ack(d, s, entries)) {
           ++stats_.corrupt_frames_detected;
@@ -407,6 +446,7 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
         }
       }
     }
+    settle_silence();
   };
 
   std::size_t attempt = 0;
@@ -461,6 +501,44 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
     report.injection_log_begin = log_begin;
     report.injection_log_end =
         injector != nullptr ? injector->log().size() : 0;
+
+    if (liveness_.enabled) {
+      // Verdict: an undelivered frame's peer that never produced a single
+      // delivery for `suspect_after_attempts` consecutive attempts is
+      // suspected dead. Silence alone cannot convict: once a peer dies,
+      // its neighbours' remaining traffic all targets the corpse, so they
+      // go quiet too (nothing deliverable to say) — the membership truth
+      // arbitrates, standing in for the out-of-band failure detector a
+      // real cluster manager provides. A live-but-quiet rank (fully
+      // partitioned link) therefore stays a link fault. The verdict fires
+      // under either recovery policy — a degraded replay cannot reach a
+      // dead owner.
+      std::vector<std::size_t> suspects;
+      std::size_t max_silent = 0;
+      for (const std::size_t r : report.affected_ranks) {
+        if (silent[r] >= liveness_.suspect_after_attempts &&
+            !machine_.alive(r)) {
+          suspects.push_back(r);
+          max_silent = std::max(max_silent, silent[r]);
+        }
+      }
+      if (!suspects.empty()) {
+        ++stats_.rank_loss_verdicts;
+        for (const std::size_t r : suspects) machine_.mark_dead(r);
+        RankLossReport loss;
+        loss.dead_ranks = suspects;
+        loss.phase = phase_;
+        loss.exchange_index = exchange_counter_;
+        loss.silent_attempts = max_silent;
+        loss.undelivered_frames = report.undelivered.size();
+        loss.membership_epoch = machine_.membership_epoch();
+        loss.injection_log_begin = report.injection_log_begin;
+        loss.injection_log_end = report.injection_log_end;
+        machine_.record_rank_loss(loss);
+        throw RankLossError(std::move(report), std::move(loss));
+      }
+    }
+
     if (recovery_ == RecoveryPolicy::kFailFast) {
       throw FaultError(std::move(report));
     }
@@ -514,8 +592,35 @@ std::vector<std::vector<Delivery>> ReliableExchange::exchange(
       ++delivered;
     }
   }
-  STTSV_CHECK(delivered == frames.size(),
-              "reliable exchange delivered frame count mismatch");
+  if (delivered != frames.size()) {
+    // Only reachable when a dead endpoint swallowed frames on the clean
+    // degraded channel (the machine drops them below the protocol): a
+    // replay cannot heal rank loss, so surface a structured failure
+    // instead of an internal-invariant crash.
+    FaultReport incomplete;
+    incomplete.phase = phase_;
+    incomplete.exchange_index = exchange_counter_;
+    incomplete.attempts_used = retry_.max_attempts;
+    incomplete.degraded = true;
+    for (const PendingFrame& f : frames) {
+      if (!accepted_seqs[pair_id(f.from, f.to)].contains(f.seq)) {
+        incomplete.undelivered.push_back(
+            FrameFault{f.from, f.to, f.seq, f.payload.size(), f.attempts});
+        incomplete.affected_ranks.push_back(f.from);
+        incomplete.affected_ranks.push_back(f.to);
+      }
+    }
+    std::sort(incomplete.affected_ranks.begin(),
+              incomplete.affected_ranks.end());
+    incomplete.affected_ranks.erase(
+        std::unique(incomplete.affected_ranks.begin(),
+                    incomplete.affected_ranks.end()),
+        incomplete.affected_ranks.end());
+    incomplete.injection_log_begin = log_begin;
+    incomplete.injection_log_end =
+        injector != nullptr ? injector->log().size() : 0;
+    throw FaultError(std::move(incomplete));
+  }
   return inboxes;
 }
 
@@ -534,6 +639,7 @@ void ReliableExchange::publish_metrics(obs::MetricsRegistry& out,
   out.set_counter(prefix + ".degraded_deliveries",
                   stats_.degraded_deliveries);
   out.set_counter(prefix + ".backoff_rounds", stats_.backoff_rounds);
+  out.set_counter(prefix + ".rank_loss_verdicts", stats_.rank_loss_verdicts);
   out.set_counter(prefix + ".degraded_reports", reports_.size());
 }
 

@@ -26,6 +26,23 @@
 // invariant — the sender still holds the payload (tensor blocks are never
 // communicated, so every contribution is deterministically recomputable)
 // and replays it over a clean out-of-band channel, charged as overhead.
+//
+// An opt-in liveness detector (DESIGN.md §15) distinguishes a dead *peer*
+// from a flaky *link*: every attempt the protocol tracks which ranks it
+// probed (endpoints of pending frames) and which it heard from (any
+// delivery — data, ACK, even an undecodable frame proves the sender
+// lives). A probed rank heard from resets its silence counter; one that
+// stays silent accumulates. When the retry budget runs out and a silent
+// counter has reached the policy bound, the peer is *suspected* dead;
+// the machine's membership truth arbitrates the verdict (the simulator's
+// stand-in for a cluster manager's out-of-band failure detector), since
+// a dead peer's neighbours also go quiet once their only remaining
+// traffic targets the corpse. A confirmed suspect turns the failure into
+// "peer dead", not "link flaky": the ranks are marked dead on the Machine, a structured
+// RankLossReport is filed there, and RankLossError is thrown — under
+// either recovery policy, because a degraded replay cannot resurrect a
+// dead owner. Rank-loss recovery proper (elastic shrink, redistribution)
+// lives one layer up in src/elastic/.
 
 #include <cstddef>
 #include <cstdint>
@@ -150,6 +167,29 @@ class FaultError : public std::runtime_error {
   FaultReport report_;
 };
 
+/// Bounded failure detection (off by default so pure link-fault tests
+/// keep their semantics). A probed peer silent for `suspect_after_attempts`
+/// consecutive protocol attempts while the retry budget runs out is
+/// declared dead rather than flaky.
+struct LivenessPolicy {
+  bool enabled = false;
+  std::size_t suspect_after_attempts = 3;
+};
+
+/// The liveness verdict: undelivered frames whose peers stayed silent
+/// past the policy bound. Derives from FaultError so callers that only
+/// understand link faults still fail fast instead of hanging; recovery-
+/// aware callers catch this type and trigger the elastic shrink. The
+/// same RankLossReport is also filed on the Machine.
+class RankLossError : public FaultError {
+ public:
+  RankLossError(FaultReport report, RankLossReport loss);
+  [[nodiscard]] const RankLossReport& rank_loss() const { return loss_; }
+
+ private:
+  RankLossReport loss_;
+};
+
 class ReliableExchange final : public Exchanger {
  public:
   struct Stats {
@@ -162,10 +202,12 @@ class ReliableExchange final : public Exchanger {
     std::uint64_t duplicate_frames_ignored = 0;
     std::uint64_t degraded_deliveries = 0;
     std::uint64_t backoff_rounds = 0;
+    std::uint64_t rank_loss_verdicts = 0;
   };
 
   explicit ReliableExchange(Machine& machine, RetryPolicy retry = {},
-                            RecoveryPolicy recovery = RecoveryPolicy::kFailFast);
+                            RecoveryPolicy recovery = RecoveryPolicy::kFailFast,
+                            LivenessPolicy liveness = {});
 
   /// Runs the protocol until every frame is delivered exactly once, then
   /// returns inboxes bitwise identical to a fault-free Machine::exchange
@@ -179,6 +221,9 @@ class ReliableExchange final : public Exchanger {
 
   [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
   [[nodiscard]] RecoveryPolicy recovery_policy() const { return recovery_; }
+  [[nodiscard]] const LivenessPolicy& liveness_policy() const {
+    return liveness_;
+  }
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
   /// One report per degraded logical exchange (kDegrade only; kFailFast
@@ -195,6 +240,7 @@ class ReliableExchange final : public Exchanger {
  private:
   RetryPolicy retry_;
   RecoveryPolicy recovery_;
+  LivenessPolicy liveness_;
   std::string phase_ = "unlabeled";
   std::uint64_t exchange_counter_ = 0;
   // Next sequence number per ordered rank pair, monotone over the session.

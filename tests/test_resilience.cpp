@@ -223,6 +223,53 @@ TEST(Resilience, DegradedModeRecoversBitwise) {
   machine.ledger().verify_conservation();
 }
 
+// Degraded-mode recovery under the double-buffered phase schedule: the
+// owner-compute replay must compose with pipelining exactly as it does
+// with the serialized order — bitwise output, goodput untouched — across
+// a seed sweep that mixes fault classes at rates high enough to exhaust
+// the small retry budget regularly.
+TEST(Resilience, DegradeUnderDoubleBufferingSeedSweep) {
+  const std::size_t n = 60;
+  Fixture s = make_setup(n, 43);
+  const std::size_t P = s.part().num_processors();
+  simt::Machine clean(P);
+  const auto ref = core::parallel_sttsv(clean, s.part(), s.dist(), s.a, s.x,
+                                        Transport::kPointToPoint,
+                                        simt::PipelineMode::kDoubleBuffered);
+
+  std::uint64_t degraded_runs = 0;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    FaultInjector injector({.drop = 0.5 + 0.03 * static_cast<double>(seed % 8),
+                            .corrupt = 0.2,
+                            .duplicate = 0.2,
+                            .reorder = 0.25,
+                            .stall = 0.1,
+                            .seed = 0xDB00 + seed});
+    simt::Machine machine(P);
+    machine.set_fault_injector(&injector);
+    ReliableExchange rex(machine, RetryPolicy{2, 1, 4},
+                         RecoveryPolicy::kDegrade);
+    const auto got = core::parallel_sttsv(rex, s.part(), s.dist(), s.a, s.x,
+                                          Transport::kPointToPoint,
+                                          simt::PipelineMode::kDoubleBuffered);
+    expect_bitwise(got.y, ref.y);
+    for (std::size_t p = 0; p < P; ++p) {
+      EXPECT_EQ(machine.ledger().words_sent(p), clean.ledger().words_sent(p))
+          << "seed=" << seed << " p=" << p;
+    }
+    EXPECT_EQ(machine.ledger().rounds(), clean.ledger().rounds());
+    machine.ledger().verify_conservation();
+    if (!rex.reports().empty()) {
+      ++degraded_runs;
+      for (const simt::FaultReport& r : rex.reports()) {
+        EXPECT_TRUE(r.degraded);
+      }
+    }
+  }
+  EXPECT_GT(degraded_runs, 0u)
+      << "sweep never exhausted the retry budget; raise the fault rates";
+}
+
 TEST(Resilience, InjectorIsDeterministicPerSeed) {
   Fixture s = make_setup(60, 2);
   const std::size_t P = s.part().num_processors();

@@ -25,6 +25,8 @@
 #include "serve/sharded_plan_cache.hpp"
 #include "serve/tenant.hpp"
 #include "serve/traffic.hpp"
+#include "simt/fault_injector.hpp"
+#include "simt/reliable_exchange.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "tensor/generators.hpp"
@@ -507,6 +509,124 @@ TEST(Frontend, PublishesPerTenantMetrics) {
   EXPECT_EQ(reg.counter("serve.tenant.alpha.completed"), 1u);
   EXPECT_GT(reg.counter("serve.tenant.alpha.words"), 0u);
   EXPECT_GE(reg.gauge("serve.tenant.alpha.latency_p50_ns"), 0.0);
+}
+
+// --- Fault handling --------------------------------------------------------
+
+TEST(Frontend, RequeuesBatchIntactWhenDispatchFaults) {
+  Fixture f;
+  simt::ReliableExchange rex(*f.machine, simt::RetryPolicy{2, 1, 2},
+                             simt::RecoveryPolicy::kFailFast);
+  FrontendOptions opts;
+  opts.batch_width = 4;
+  opts.service_alpha_ns = 1'000'000;  // server stays busy so jobs queue
+  opts.service_beta_ns = 10'000;
+  opts.exchanger = &rex;
+  Frontend fe(*f.machine, f.plan, f.a, opts);
+  TenantQuota quota;
+  quota.max_queue_depth = 4;
+  const TenantId ta = fe.add_tenant("a", quota);
+  const TenantId tb = fe.add_tenant("b", quota);
+
+  std::vector<JobResult> done;
+  auto cb = [&done](JobResult r) { done.push_back(std::move(r)); };
+
+  // First submit dispatches inline over the still-clean wire; the next
+  // three queue behind the busy virtual server.
+  ASSERT_TRUE(fe.submit(ta, job_vector(36, 0, 0), cb).admitted);
+  ASSERT_TRUE(fe.submit(ta, job_vector(36, 0, 1), cb).admitted);
+  ASSERT_TRUE(fe.submit(tb, job_vector(36, 1, 0), cb).admitted);
+  ASSERT_TRUE(fe.submit(ta, job_vector(36, 0, 2), cb).admitted);
+  ASSERT_EQ(fe.backlog(), 3u);
+  const std::uint64_t batches_before = fe.stats().batches_run;
+
+  // Kill the wire: every frame (data and ACK) is dropped, so the retry
+  // budget runs out and the batch dispatch faults.
+  simt::FaultInjector injector({.drop = 1.0, .seed = 0xFE11});
+  f.machine->set_fault_injector(&injector);
+  EXPECT_THROW(fe.drain(), simt::FaultError);
+
+  // The batch was re-parked intact: same jobs, same lanes, nothing lost,
+  // and the failed run never counted as a served batch.
+  EXPECT_EQ(fe.backlog(), 3u);
+  EXPECT_EQ(fe.stats().dispatch_failures, 1u);
+  EXPECT_EQ(fe.stats().batches_run, batches_before);
+  EXPECT_EQ(fe.stats().admitted, 4u);
+  EXPECT_EQ(fe.stats().completed, 1u);  // only the pre-fault inline batch
+
+  // Heal the wire and pump again: the re-parked jobs complete in the
+  // original per-tenant FIFO order with bitwise-correct outputs.
+  f.machine->set_fault_injector(nullptr);
+  fe.drain();
+  EXPECT_EQ(fe.backlog(), 0u);
+  EXPECT_EQ(fe.stats().completed, 4u);
+  ASSERT_EQ(done.size(), 4u);
+  std::vector<std::uint64_t> seq_a;
+  for (const JobResult& r : done) {
+    if (r.tenant == ta) seq_a.push_back(r.seq);
+  }
+  ASSERT_EQ(seq_a.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(seq_a.begin(), seq_a.end()));
+
+  simt::Machine solo(f.plan->num_processors());
+  batch::Engine ref(solo, f.plan, f.a,
+                    batch::EngineOptions{.max_batch_size = opts.batch_width});
+  for (const JobResult& r : done) {
+    std::vector<double> want;
+    ref.submit(job_vector(36, r.tenant == ta ? 0u : 1u, r.seq),
+               [&want](std::size_t, std::vector<double> y) {
+                 want = std::move(y);
+               });
+    ref.flush();
+    expect_bitwise(r.y, want, "requeued job output");
+  }
+
+  // No quota leaked and ledger attribution survived the faulted attempt:
+  // per-tenant shares (including the re-parked batch's retry overhead)
+  // still sum exactly to the machine ledger.
+  EXPECT_TRUE(fe.submit(tb, job_vector(36, 1, 9), cb).admitted);
+  fe.drain();
+  const simt::CommLedger& ledger = f.machine->ledger();
+  ledger.verify_conservation();
+  std::uint64_t words = 0;
+  std::uint64_t overhead = 0;
+  std::uint64_t messages = 0;
+  for (TenantId t = 0; t < fe.num_tenants(); ++t) {
+    words += fe.tenant_stats(t).words;
+    overhead += fe.tenant_stats(t).overhead_words;
+    messages += fe.tenant_stats(t).messages;
+  }
+  EXPECT_EQ(words, ledger.total_words());
+  EXPECT_EQ(overhead, ledger.total_overhead_words());
+  EXPECT_EQ(messages, ledger.total_messages());
+  EXPECT_GT(overhead, 0u) << "faulted attempt left no overhead trace";
+
+  obs::MetricsRegistry reg;
+  fe.publish_metrics(reg);
+  EXPECT_EQ(reg.counter("serve.dispatch_failures"), 1u);
+}
+
+TEST(Frontend, DegradeCapacityRescalesServiceModel) {
+  Fixture f;
+  FrontendOptions opts;
+  opts.service_alpha_ns = 100'000;
+  opts.service_beta_ns = 30'000;
+  Frontend fe(*f.machine, f.plan, f.a, opts);
+  const std::size_t P = f.plan->num_processors();
+  const double full = fe.saturation_jobs_per_s();
+
+  fe.degrade_capacity(P - 2);
+  const double degraded = fe.saturation_jobs_per_s();
+  EXPECT_LT(degraded, full);
+  // Idempotent in `alive`: rescaling always starts from the construction
+  // beta, so repeating the call changes nothing.
+  fe.degrade_capacity(P - 2);
+  EXPECT_EQ(fe.saturation_jobs_per_s(), degraded);
+  // Full membership restores full capacity exactly.
+  fe.degrade_capacity(P);
+  EXPECT_EQ(fe.saturation_jobs_per_s(), full);
+  EXPECT_THROW(fe.degrade_capacity(0), PreconditionError);
+  EXPECT_THROW(fe.degrade_capacity(P + 1), PreconditionError);
 }
 
 // --- Engine threading contract ---------------------------------------------
