@@ -72,12 +72,13 @@ inline void banner(const std::string& title) {
 // JsonWriter lives in support/json_writer.hpp (same namespace) so library
 // code — the obs exporters in particular — can emit artifacts too.
 
-/// Emits the ledger's three channels — goodput (the Theorem 5.2
-/// quantity), resilience overhead, and rank-loss recovery traffic — as
-/// one "ledger" object in the current JSON scope. Every bench that
-/// exercises ReliableExchange reports all three so artifacts can show
-/// the paper bound holding on goodput while pricing the protocol and
-/// any redistribution separately.
+/// Emits the ledger's four channels — goodput (the Theorem 5.2
+/// quantity), resilience overhead, rank-loss recovery traffic, and
+/// one-sided put traffic with its synchronization count — as one
+/// "ledger" object in the current JSON scope. Every bench that
+/// exercises ReliableExchange or OneSidedExchange reports all four so
+/// artifacts can show the paper bound holding on goodput while pricing
+/// the protocol, any redistribution, and RMA sync separately.
 inline void write_ledger_channels(JsonWriter& w,
                                   const simt::CommLedger& ledger) {
   w.begin_object("ledger");
@@ -98,6 +99,13 @@ inline void write_ledger_channels(JsonWriter& w,
   w.field("total_recovery_words", ledger.total_recovery_words());
   w.field("recovery_messages", ledger.recovery_messages());
   w.field("recovery_rounds", ledger.recovery_rounds());
+  w.field("max_onesided_words_sent", ledger.max_onesided_words_sent());
+  w.field("max_onesided_words_received",
+          ledger.max_onesided_words_received());
+  w.field("total_onesided_words", ledger.total_onesided_words());
+  w.field("onesided_messages", ledger.onesided_messages());
+  w.field("onesided_rounds", ledger.onesided_rounds());
+  w.field("sync_ops", ledger.sync_ops());
   w.end_object();
 }
 

@@ -121,6 +121,14 @@ BatchRunResult parallel_sttsv_batch(
   std::vector<std::vector<std::size_t>> rank_chunks(chunks);
   for (std::size_t p = 0; p < P; ++p) rank_chunks[p % chunks].push_back(p);
 
+  // Active-message transports reduce at the target (DESIGN.md §16): seed
+  // local partials into y_pad as each rank's kernels finish (disjoint
+  // own-share panel slices per rank), then the handler below replays the
+  // plan's slice walk per landed payload in the same local-first,
+  // senders-ascending order as the two-sided reduction — bit for bit.
+  const bool am_reduce = exchanger.supports_handler_delivery();
+  std::vector<double> y_pad(dist.padded_n() * B, 0.0);
+
   obs::Span y_phase("batch.y-panel", obs::Category::kSuperstep, B);
   const auto pack_y = [&](std::size_t c) {
     machine.run_ranks(rank_chunks[c], [&](std::size_t p) {
@@ -136,6 +144,15 @@ BatchRunResult parallel_sttsv_batch(
         result.ternary_mults[p] += apply_block_panel(a, coord, b, B, buf);
       }
       x_loc[p] = {};  // frees the gathered inputs early
+      if (am_reduce) {
+        for (const std::size_t i : part.R(p)) {
+          const Share s = dist.share(i, p);
+          const double* src =
+              y_loc[p].data() + (plan.local_index(p, i) * b + s.offset) * B;
+          double* dst = y_pad.data() + (i * b + s.offset) * B;
+          for (std::size_t e = 0; e < s.length * B; ++e) dst[e] += src[e];
+        }
+      }
     });
     std::vector<std::vector<Envelope>> y_out(P);
     for (const std::size_t p : rank_chunks[c]) {
@@ -160,9 +177,33 @@ BatchRunResult parallel_sttsv_batch(
       for (Delivery& d : in[p]) y_in[p].push_back(std::move(d));
     }
   };
+  if (am_reduce) {
+    // Remote-reduce handler: targets then origins ascending, the same
+    // slice walk as the two-sided loop below.
+    exchanger.set_delivery_handler(
+        [&](std::size_t target, std::size_t from, const double* data,
+            std::size_t words) {
+          const Plan::PeerExchange& ex = plan.exchange_between(from, target);
+          std::size_t cursor = 0;
+          for (const Plan::BlockSlice& s : ex.slices) {
+            STTSV_CHECK(cursor + s.receiver.length * B <= words,
+                        "y delivery shorter than expected");
+            double* dst =
+                y_pad.data() + (s.block * b + s.receiver.offset) * B;
+            for (std::size_t e = 0; e < s.receiver.length * B; ++e) {
+              dst[e] += data[cursor + e];
+            }
+            cursor += s.receiver.length * B;
+          }
+          STTSV_CHECK(cursor == words, "y delivery longer than expected");
+        });
+  }
   exchanger.set_phase("y-panel");
   simt::pipelined_exchange(exchanger, transport, chunks, pipeline, pack_y,
                            collect_y);
+  if (am_reduce) {
+    exchanger.set_delivery_handler({});
+  }
   for (auto& inbox : y_in) {
     std::stable_sort(inbox.begin(), inbox.end(),
                      [](const Delivery& da, const Delivery& db) {
@@ -171,9 +212,9 @@ BatchRunResult parallel_sttsv_batch(
   }
 
   // Own share = local partial + sum of received partials, in the same
-  // rank-major, sender-ascending order as the single-vector run.
-  std::vector<double> y_pad(dist.padded_n() * B, 0.0);
-  for (std::size_t p = 0; p < P; ++p) {
+  // rank-major, sender-ascending order as the single-vector run. In AM
+  // mode the handler above already did both halves and y_in stays empty.
+  for (std::size_t p = 0; p < P && !am_reduce; ++p) {
     for (const std::size_t i : part.R(p)) {
       const Share s = dist.share(i, p);
       const double* src =

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "onesided/make_exchanger.hpp"
 #include "support/check.hpp"
 
 namespace sttsv::batch {
@@ -21,6 +22,11 @@ Engine::Engine(simt::Machine& machine, std::shared_ptr<const Plan> plan,
   STTSV_REQUIRE(opts_.exchanger == nullptr ||
                     &opts_.exchanger->machine() == &machine_,
                 "engine exchanger must wrap the engine's machine");
+  if (opts_.exchanger == nullptr &&
+      opts_.transport != simt::TransportKind::kDirect) {
+    owned_exchanger_ = simt::make_exchanger(machine_, opts_.transport);
+    opts_.exchanger = owned_exchanger_.get();
+  }
   // Size the pool for a full-width batch up front so even the first
   // batch's message path is allocation-free (DESIGN.md §12).
   plan_->prewarm_pool(machine_.pool(), opts_.max_batch_size);

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "batch/plan.hpp"
 #include "simt/machine.hpp"
 #include "simt/reliable_exchange.hpp"
+#include "simt/transport_kind.hpp"
 #include "tensor/sym_tensor.hpp"
 
 namespace sttsv::obs {
@@ -42,6 +44,12 @@ struct EngineOptions {
   /// under kDegrade the batch completes and the exchanger's reports()
   /// record the degraded exchanges. Non-owning; must outlive the engine.
   simt::Exchanger* exchanger = nullptr;
+  /// Transport backend when `exchanger` is unset (DESIGN.md §16): the
+  /// engine builds and owns the exchanger via simt::make_exchanger, so
+  /// callers pick one-sided or active-message batches with a single enum
+  /// (serve::FrontendOptions and STTSV_TRANSPORT forward to this).
+  /// Ignored when an explicit `exchanger` is supplied.
+  simt::TransportKind transport = simt::TransportKind::kDirect;
   /// Phase schedule for every batch (see core::parallel_sttsv): outputs
   /// and ledger channels are identical under both modes (DESIGN.md §12).
   simt::PipelineMode pipeline = simt::PipelineMode::kDoubleBuffered;
@@ -132,6 +140,9 @@ class Engine {
   std::shared_ptr<const Plan> plan_;
   const tensor::SymTensor3& a_;
   EngineOptions opts_;
+  /// Backend built from opts_.transport when no explicit exchanger was
+  /// supplied; opts_.exchanger aliases it for the batch path.
+  std::unique_ptr<simt::Exchanger> owned_exchanger_;
   std::deque<Request> queue_;
   std::size_t next_id_ = 0;
   EngineStats stats_;

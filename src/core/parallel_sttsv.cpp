@@ -160,6 +160,16 @@ ParallelRunResult parallel_sttsv(simt::Exchanger& exchanger,
   std::vector<std::vector<std::size_t>> rank_chunks(chunks);
   for (std::size_t p = 0; p < P; ++p) rank_chunks[p % chunks].push_back(p);
 
+  // Active-message transports run the reduction at the target instead of
+  // returning deliveries (DESIGN.md §16): local partials are seeded into
+  // y_pad as soon as each rank's kernels finish (disjoint own-share
+  // slices, so the host-threaded kernel groups never collide), and a
+  // handler registered below replays the common-block walk for every
+  // landed payload. Both happen in the local-first, senders-ascending
+  // order of the two-sided reduction, so y is bitwise identical.
+  const bool am_reduce = exchanger.supports_handler_delivery();
+  std::vector<double> y_pad(dist.padded_n(), 0.0);
+
   obs::Span y_phase("sttsv.y-partials", obs::Category::kSuperstep);
   const auto pack_y = [&](std::size_t c) {
     machine.run_ranks(rank_chunks[c], [&](std::size_t p) {
@@ -177,6 +187,14 @@ ParallelRunResult parallel_sttsv(simt::Exchanger& exchanger,
         result.ternary_mults[p] += apply_block(a, coord, b, buf);
       }
       x_loc[p].clear();  // frees the gathered inputs early
+      if (am_reduce) {
+        for (const std::size_t i : part.R(p)) {
+          const Share s = dist.share(i, p);
+          for (std::size_t off = 0; off < s.length; ++off) {
+            y_pad[i * b + s.offset + off] += y_loc[p].at(i)[s.offset + off];
+          }
+        }
+      }
     });
     std::vector<std::vector<Envelope>> y_out(P);
     for (const std::size_t p : rank_chunks[c]) {
@@ -202,9 +220,31 @@ ParallelRunResult parallel_sttsv(simt::Exchanger& exchanger,
       for (Delivery& d : in[p]) y_in[p].push_back(std::move(d));
     }
   };
+  if (am_reduce) {
+    // Remote-reduce handler: ran once per landed payload, targets then
+    // origins ascending — the same walk as the two-sided loop below.
+    exchanger.set_delivery_handler(
+        [&](std::size_t target, std::size_t from, const double* data,
+            std::size_t words) {
+          std::size_t cursor = 0;
+          for (const std::size_t i : common_blocks(part, target, from)) {
+            const Share s = dist.share(i, target);
+            STTSV_CHECK(cursor + s.length <= words,
+                        "y delivery shorter than expected");
+            for (std::size_t off = 0; off < s.length; ++off) {
+              y_pad[i * b + s.offset + off] += data[cursor + off];
+            }
+            cursor += s.length;
+          }
+          STTSV_CHECK(cursor == words, "y delivery longer than expected");
+        });
+  }
   exchanger.set_phase("y-partials");
   simt::pipelined_exchange(exchanger, transport, chunks, pipeline, pack_y,
                            collect_y);
+  if (am_reduce) {
+    exchanger.set_delivery_handler({});
+  }
   for (auto& inbox : y_in) {
     std::stable_sort(inbox.begin(), inbox.end(),
                      [](const Delivery& da, const Delivery& db) {
@@ -213,9 +253,9 @@ ParallelRunResult parallel_sttsv(simt::Exchanger& exchanger,
   }
 
   // Own share = local partial + sum of received partials, senders
-  // ascending — the serialized reduction order, bit for bit.
-  std::vector<double> y_pad(dist.padded_n(), 0.0);
-  for (std::size_t p = 0; p < P; ++p) {
+  // ascending — the serialized reduction order, bit for bit. In AM mode
+  // the handler above already did both halves and y_in stays empty.
+  for (std::size_t p = 0; p < P && !am_reduce; ++p) {
     // Seed with this rank's local partials on its own shares.
     for (const std::size_t i : part.R(p)) {
       const Share s = dist.share(i, p);

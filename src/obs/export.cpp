@@ -22,7 +22,9 @@ std::string track_name(std::size_t rank) {
 }
 
 const char* channel_of(Category c) {
-  return c == Category::kRetry ? "overhead" : "goodput";
+  if (c == Category::kRetry) return "overhead";
+  if (c == Category::kOneSided) return "onesided";
+  return "goodput";
 }
 
 double to_us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }

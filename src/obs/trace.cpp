@@ -75,6 +75,8 @@ const char* category_name(Category c) {
       return "serve";
     case Category::kRecovery:
       return "recovery";
+    case Category::kOneSided:
+      return "onesided";
     case Category::kOther:
       return "other";
   }

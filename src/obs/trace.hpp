@@ -50,6 +50,7 @@ enum class Category : std::uint8_t {
   kPipeline,
   kServe,
   kRecovery,
+  kOneSided,
   kOther,
 };
 

@@ -1,0 +1,27 @@
+#include "onesided/make_exchanger.hpp"
+
+#include "onesided/onesided_exchange.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::simt {
+
+std::unique_ptr<Exchanger> make_exchanger(Machine& machine,
+                                          const ExchangerConfig& config) {
+  switch (config.kind) {
+    case TransportKind::kDirect:
+      return std::make_unique<DirectExchange>(machine);
+    case TransportKind::kReliable:
+      return std::make_unique<ReliableExchange>(
+          machine, config.retry, config.recovery, config.liveness);
+    case TransportKind::kOneSidedPut:
+      return std::make_unique<onesided::OneSidedExchange>(
+          machine, onesided::Mode::kPut);
+    case TransportKind::kActiveMessage:
+      return std::make_unique<onesided::OneSidedExchange>(
+          machine, onesided::Mode::kActiveMessage);
+  }
+  STTSV_CHECK(false, "unknown transport kind");
+  return nullptr;
+}
+
+}  // namespace sttsv::simt

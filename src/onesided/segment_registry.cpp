@@ -1,0 +1,95 @@
+#include "onesided/segment_registry.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "simt/machine.hpp"
+#include "support/check.hpp"
+
+namespace sttsv::onesided {
+
+SegmentRegistry::SegmentRegistry(simt::Machine& machine)
+    : machine_(machine), windows_(machine.num_ranks()) {}
+
+void SegmentRegistry::ensure_window(std::size_t rank, std::size_t words) {
+  STTSV_REQUIRE(rank < windows_.size(), "rank out of range");
+  STTSV_REQUIRE(!open_, "cannot resize a window during an open epoch");
+  if (words > windows_[rank].storage.capacity()) grow_window(rank, words);
+}
+
+std::size_t SegmentRegistry::window_words(std::size_t rank) const {
+  STTSV_REQUIRE(rank < windows_.size(), "rank out of range");
+  return windows_[rank].storage.capacity();
+}
+
+void SegmentRegistry::grow_window(std::size_t rank, std::size_t min_words) {
+  Window& w = windows_[rank];
+  simt::PooledBuffer bigger = machine_.pool().acquire(rank, min_words);
+  // Expose the whole slab: window capacity is the registered extent and
+  // the contents must survive growth (earlier puts already landed).
+  bigger.resize(bigger.capacity());
+  if (w.cursor > 0) {
+    std::memcpy(bigger.data(), w.storage.data(),
+                w.cursor * sizeof(double));
+  }
+  w.storage = std::move(bigger);
+  if (open_) ++stats_.window_grows;
+}
+
+void SegmentRegistry::open_epoch() {
+  STTSV_REQUIRE(!open_, "epoch already open");
+  for (Window& w : windows_) {
+    w.cursor = 0;
+    w.landed.clear();
+  }
+  ++epoch_;
+  open_ = true;
+}
+
+Extent SegmentRegistry::put(std::size_t from, std::size_t to,
+                            const double* src, std::size_t words) {
+  STTSV_REQUIRE(open_, "put outside an access epoch");
+  STTSV_REQUIRE(from < windows_.size() && to < windows_.size(),
+                "rank out of range");
+  STTSV_REQUIRE(from != to, "self-puts are local copies, not comm");
+  STTSV_REQUIRE(words >= 1 && src != nullptr, "put needs a payload");
+  Window& w = windows_[to];
+  if (w.cursor + words > w.storage.capacity()) {
+    grow_window(to, w.cursor + words);
+  }
+  const Extent extent{from, w.cursor, words};
+  std::memcpy(w.storage.data() + w.cursor, src, words * sizeof(double));
+  w.cursor += words;
+  w.landed.push_back(extent);
+  ++stats_.puts;
+  stats_.put_words += words;
+  return extent;
+}
+
+void SegmentRegistry::close_epoch() {
+  STTSV_REQUIRE(open_, "no epoch to close");
+  for (Window& w : windows_) {
+    // Stable: multiple puts from one origin keep their posting order,
+    // matching the mailbox path's per-pair delivery order.
+    std::stable_sort(w.landed.begin(), w.landed.end(),
+                     [](const Extent& a, const Extent& b) {
+                       return a.from < b.from;
+                     });
+  }
+  open_ = false;
+  ++stats_.epochs;
+}
+
+const std::vector<Extent>& SegmentRegistry::extents(std::size_t rank) const {
+  STTSV_REQUIRE(rank < windows_.size(), "rank out of range");
+  STTSV_REQUIRE(!open_, "extents are unreadable until the epoch closes");
+  return windows_[rank].landed;
+}
+
+double* SegmentRegistry::window_data(std::size_t rank) {
+  STTSV_REQUIRE(rank < windows_.size(), "rank out of range");
+  STTSV_REQUIRE(!open_, "window is unreadable until the epoch closes");
+  return windows_[rank].storage.data();
+}
+
+}  // namespace sttsv::onesided

@@ -1,0 +1,115 @@
+#pragma once
+// Registered communication segments for one-sided transport
+// (DESIGN.md §16).
+//
+// Each rank registers one window: a 64-byte-aligned slab carved from that
+// rank's BufferPool shard (the same arena the mailbox path leases from,
+// so a warmed machine serves one-sided epochs allocation-free). Remote
+// ranks write into the window with put() — the simulator's stand-in for
+// an RDMA write — and the registry hands out the landed extents only
+// after the epoch closes.
+//
+// Epoch-fenced exposure, modeled on MPI RMA / GASNet access epochs:
+//
+//   open_epoch()   — clears the landing tables; puts become legal.
+//   put(...)       — reserves a fresh extent at the window cursor and
+//                    copies the payload in. Extents are disjoint by
+//                    construction (bump allocation), which is what makes
+//                    direct remote writes into y-slices safe (the PR-5
+//                    disjoint-slice delivery argument).
+//   close_epoch()  — the exposure fence: extents become readable, sorted
+//                    by origin (stable, so multiple puts from one origin
+//                    keep their posting order — exactly the order the
+//                    two-sided mailbox path delivers in).
+//
+// Reading extents or window memory during an open epoch throws: a target
+// must never observe a half-landed epoch. Windows grow between puts when
+// an epoch outgrows them (contents are preserved; growth trades slabs up
+// within the owner's pool shard) — steady state never grows, which the
+// allocation guard can assert.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simt/buffer_pool.hpp"
+
+namespace sttsv::simt {
+class Machine;
+}  // namespace sttsv::simt
+
+namespace sttsv::onesided {
+
+/// One landed put: origin rank and the [offset, offset+words) slice of
+/// the target's window it occupies.
+struct Extent {
+  std::size_t from = 0;
+  std::size_t offset = 0;
+  std::size_t words = 0;
+};
+
+class SegmentRegistry {
+ public:
+  struct Stats {
+    std::uint64_t epochs = 0;        ///< close_epoch() calls
+    std::uint64_t puts = 0;          ///< put() calls ever
+    std::uint64_t put_words = 0;     ///< payload words ever put
+    std::uint64_t window_grows = 0;  ///< mid-epoch window growths
+  };
+
+  /// Registers one (initially empty) window per machine rank, carved
+  /// from the machine's pool on first use.
+  explicit SegmentRegistry(simt::Machine& machine);
+
+  [[nodiscard]] std::size_t num_ranks() const { return windows_.size(); }
+  [[nodiscard]] bool epoch_open() const { return open_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Pre-sizes rank's window to at least `words` (rounded to the pool
+  /// bucket). Legal only between epochs; plans may call it so even the
+  /// first epoch never grows mid-flight.
+  void ensure_window(std::size_t rank, std::size_t words);
+
+  /// Registered capacity of rank's window, in words.
+  [[nodiscard]] std::size_t window_words(std::size_t rank) const;
+
+  /// Starts an access epoch. Requires the previous one to be closed.
+  void open_epoch();
+
+  /// The one-sided write: reserves the next `words`-word extent in `to`'s
+  /// window and copies [src, src+words) into it. Requires an open epoch,
+  /// from != to, and words >= 1. Returns the landed extent.
+  Extent put(std::size_t from, std::size_t to, const double* src,
+             std::size_t words);
+
+  /// The exposure fence: landed extents become readable, sorted by
+  /// origin (stable). Requires an open epoch.
+  void close_epoch();
+
+  /// Extents landed in rank's window during the last closed epoch,
+  /// origin-ascending. Throws while an epoch is open.
+  [[nodiscard]] const std::vector<Extent>& extents(std::size_t rank) const;
+
+  /// Base of rank's window storage — valid until the next growth (i.e.
+  /// at least until the next epoch opens). Throws while an epoch is open.
+  [[nodiscard]] double* window_data(std::size_t rank);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Window {
+    simt::PooledBuffer storage;      ///< slab from the owner's pool shard
+    std::size_t cursor = 0;          ///< next free word this epoch
+    std::vector<Extent> landed;      ///< posting order; origin-sorted at close
+  };
+
+  void grow_window(std::size_t rank, std::size_t min_words);
+
+  simt::Machine& machine_;
+  std::vector<Window> windows_;
+  std::uint64_t epoch_ = 0;
+  bool open_ = false;
+  Stats stats_;
+};
+
+}  // namespace sttsv::onesided

@@ -26,6 +26,7 @@ Frontend::Frontend(simt::Machine& machine,
       engine_(machine, plan_, a,
               batch::EngineOptions{.max_batch_size = opts.batch_width,
                                    .exchanger = opts.exchanger,
+                                   .transport = opts.transport,
                                    .pipeline = opts.pipeline}),
       base_beta_ns_(opts.service_beta_ns) {
   STTSV_REQUIRE(opts_.batch_width >= 1, "batch width must be >= 1");
@@ -161,6 +162,7 @@ void Frontend::run_batch(std::uint64_t start_ns) {
   const simt::CommLedger& ledger = machine_.ledger();
   const std::uint64_t words0 = ledger.total_words();
   const std::uint64_t overhead0 = ledger.total_overhead_words();
+  const std::uint64_t onesided0 = ledger.total_onesided_words();
   const std::uint64_t messages0 = ledger.total_messages();
   const std::uint64_t rounds0 = ledger.rounds();
 
@@ -195,12 +197,14 @@ void Frontend::run_batch(std::uint64_t start_ns) {
     const simt::CommLedger& led = machine_.ledger();
     const std::uint64_t dw = led.total_words() - words0;
     const std::uint64_t doh = led.total_overhead_words() - overhead0;
+    const std::uint64_t dos = led.total_onesided_words() - onesided0;
     const std::uint64_t dm = led.total_messages() - messages0;
     const std::uint64_t dr = led.rounds() - rounds0;
     for (std::size_t v = 0; v < B; ++v) {
       TenantStats& ts = tenants_[jobs[v].tenant];
       ts.words += share(dw, v);
       ts.overhead_words += share(doh, v);
+      ts.onesided_words += share(dos, v);
       ts.messages += share(dm, v);
       ts.rounds += share(dr, v);
     }
@@ -222,6 +226,8 @@ void Frontend::run_batch(std::uint64_t start_ns) {
   const std::uint64_t delta_words = ledger.total_words() - words0;
   const std::uint64_t delta_overhead =
       ledger.total_overhead_words() - overhead0;
+  const std::uint64_t delta_onesided =
+      ledger.total_onesided_words() - onesided0;
   const std::uint64_t delta_messages = ledger.total_messages() - messages0;
   const std::uint64_t delta_rounds = ledger.rounds() - rounds0;
 
@@ -240,6 +246,7 @@ void Frontend::run_batch(std::uint64_t start_ns) {
                           jobs[v].tenant);
     ts.words += share(delta_words, v);
     ts.overhead_words += share(delta_overhead, v);
+    ts.onesided_words += share(delta_onesided, v);
     ts.messages += share(delta_messages, v);
     ts.rounds += share(delta_rounds, v);
     ++ts.completed;
@@ -290,6 +297,7 @@ void Frontend::publish_metrics(obs::MetricsRegistry& out,
     }
     out.set_counter(base + ".words", ts.words);
     out.set_counter(base + ".overhead_words", ts.overhead_words);
+    out.set_counter(base + ".onesided_words", ts.onesided_words);
     out.set_counter(base + ".messages", ts.messages);
     out.set_counter(base + ".rounds", ts.rounds);
     out.set_gauge(base + ".queue_wait_p50_ns",

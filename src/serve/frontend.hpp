@@ -71,6 +71,11 @@ struct FrontendOptions {
   /// no request is lost and no quota leaks; the caller recovers (e.g.
   /// elastic shrink + rebind) and pumps again.
   simt::Exchanger* exchanger = nullptr;
+  /// Transport backend when `exchanger` is unset, forwarded to
+  /// batch::EngineOptions::transport (DESIGN.md §16): the engine builds
+  /// and owns a one-sided or active-message exchanger, and the front
+  /// end's per-tenant attribution picks up the one-sided channel.
+  simt::TransportKind transport = simt::TransportKind::kDirect;
 };
 
 /// One finished job as delivered to its submit callback.

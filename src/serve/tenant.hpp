@@ -94,10 +94,12 @@ struct TenantStats {
   std::uint64_t rejected_total = 0;
   std::array<std::uint64_t, kNumRejectReasons> rejected{};
 
-  // Attributed ledger shares (goodput words, overhead words, messages,
-  // rounds) summing exactly to the machine ledger across tenants.
+  // Attributed ledger shares (goodput words, overhead words, one-sided
+  // words, messages, rounds) summing exactly to the machine ledger
+  // across tenants.
   std::uint64_t words = 0;
   std::uint64_t overhead_words = 0;
+  std::uint64_t onesided_words = 0;
   std::uint64_t messages = 0;
   std::uint64_t rounds = 0;
 

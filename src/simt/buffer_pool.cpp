@@ -47,6 +47,17 @@ PooledBuffer::PooledBuffer(std::size_t count, double value) {
 
 PooledBuffer::~PooledBuffer() { release(); }
 
+PooledBuffer PooledBuffer::attach_view(double* storage, std::size_t words) {
+  STTSV_REQUIRE(storage != nullptr || words == 0,
+                "view needs storage unless empty");
+  PooledBuffer buf;
+  buf.base_ = storage;
+  buf.size_ = words;
+  buf.capacity_ = words;
+  buf.view_ = true;
+  return buf;
+}
+
 PooledBuffer::PooledBuffer(PooledBuffer&& other) noexcept
     : base_(other.base_),
       offset_(other.offset_),
@@ -54,10 +65,12 @@ PooledBuffer::PooledBuffer(PooledBuffer&& other) noexcept
       capacity_(other.capacity_),
       pool_(other.pool_),
       shard_(other.shard_),
-      bucket_(other.bucket_) {
+      bucket_(other.bucket_),
+      view_(other.view_) {
   other.base_ = nullptr;
   other.offset_ = other.size_ = other.capacity_ = 0;
   other.pool_ = nullptr;
+  other.view_ = false;
 }
 
 PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
@@ -70,15 +83,17 @@ PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
     pool_ = other.pool_;
     shard_ = other.shard_;
     bucket_ = other.bucket_;
+    view_ = other.view_;
     other.base_ = nullptr;
     other.offset_ = other.size_ = other.capacity_ = 0;
     other.pool_ = nullptr;
+    other.view_ = false;
   }
   return *this;
 }
 
 void PooledBuffer::release() {
-  if (base_ != nullptr) {
+  if (base_ != nullptr && !view_) {
     if (pool_ != nullptr) {
       pool_->release_slab(shard_, bucket_, base_);
     } else {
@@ -88,6 +103,7 @@ void PooledBuffer::release() {
   base_ = nullptr;
   offset_ = size_ = capacity_ = 0;
   pool_ = nullptr;
+  view_ = false;
 }
 
 void PooledBuffer::grow(std::size_t min_capacity) {
@@ -105,10 +121,12 @@ void PooledBuffer::grow(std::size_t min_capacity) {
   double* fresh = allocate_aligned(want);
   g_unpooled_allocations.fetch_add(1, std::memory_order_relaxed);
   if (size_ > 0) std::memcpy(fresh, data(), size_ * sizeof(double));
-  if (base_ != nullptr) free_aligned(base_);
+  // A view's storage belongs to someone else: detach instead of freeing.
+  if (base_ != nullptr && !view_) free_aligned(base_);
   base_ = fresh;
   offset_ = 0;
   capacity_ = want;
+  view_ = false;
 }
 
 void PooledBuffer::reserve(std::size_t capacity_words) {

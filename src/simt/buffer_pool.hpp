@@ -42,6 +42,18 @@ class PooledBuffer {
   PooledBuffer(std::size_t count, double value);
   ~PooledBuffer();
 
+  /// Non-owning window onto externally owned storage — how one-sided
+  /// deliveries expose a slice of a registered segment without copying
+  /// (DESIGN.md §16). The view reads and writes the caller's words in
+  /// place; destruction and release() drop the reference without freeing,
+  /// while any growing operation (reserve/append past `words`) detaches
+  /// into owned storage first, so a view can never free or realloc memory
+  /// it does not own. The caller keeps the storage alive for the view's
+  /// useful lifetime (segment windows: until the next exchange epoch).
+  [[nodiscard]] static PooledBuffer attach_view(double* storage,
+                                                std::size_t words);
+  [[nodiscard]] bool is_view() const { return view_; }
+
   PooledBuffer(PooledBuffer&& other) noexcept;
   PooledBuffer& operator=(PooledBuffer&& other) noexcept;
   PooledBuffer(const PooledBuffer&) = delete;
@@ -105,6 +117,7 @@ class PooledBuffer {
   BufferPool* pool_ = nullptr;  ///< nullptr: privately allocated storage
   std::uint32_t shard_ = 0;
   std::uint32_t bucket_ = 0;
+  bool view_ = false;  ///< storage is borrowed; never freed or pooled
 };
 
 /// Per-rank arena of size-bucketed, 64-byte-aligned slabs. Shard s serves

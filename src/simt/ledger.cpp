@@ -8,164 +8,125 @@
 namespace sttsv::simt {
 
 namespace {
+
 std::uint64_t pair_key(std::size_t from, std::size_t to) {
   return (static_cast<std::uint64_t>(from) << 32) |
          static_cast<std::uint64_t>(to);
 }
+
+constexpr std::array<Channel, kNumChannels> kAllChannels = {
+    Channel::kGoodput, Channel::kOverhead, Channel::kRecovery,
+    Channel::kOneSided};
+
 }  // namespace
 
-CommLedger::CommLedger(std::size_t num_ranks)
-    : sent_(num_ranks, 0),
-      received_(num_ranks, 0),
-      msg_sent_(num_ranks, 0),
-      msg_received_(num_ranks, 0),
-      overhead_sent_(num_ranks, 0),
-      overhead_received_(num_ranks, 0),
-      recovery_sent_(num_ranks, 0),
-      recovery_received_(num_ranks, 0) {
+const char* channel_name(Channel c) {
+  switch (c) {
+    case Channel::kGoodput:
+      return "goodput";
+    case Channel::kOverhead:
+      return "overhead";
+    case Channel::kRecovery:
+      return "recovery";
+    case Channel::kOneSided:
+      return "onesided";
+  }
+  return "unknown";
+}
+
+CommLedger::CommLedger(std::size_t num_ranks) {
   STTSV_REQUIRE(num_ranks >= 1, "ledger needs at least one rank");
   STTSV_REQUIRE(num_ranks < (1ULL << 32), "too many ranks for pair keys");
+  for (auto& c : chan_) {
+    c.sent.assign(num_ranks, 0);
+    c.received.assign(num_ranks, 0);
+    c.msg_sent.assign(num_ranks, 0);
+    c.msg_received.assign(num_ranks, 0);
+  }
 }
 
-void CommLedger::record_message(std::size_t from, std::size_t to,
-                                std::size_t words) {
-  STTSV_REQUIRE(from < sent_.size() && to < sent_.size(),
+void CommLedger::record(Channel channel, std::size_t from, std::size_t to,
+                        std::size_t words) {
+  ChannelCounters& c = chan(channel);
+  STTSV_REQUIRE(from < c.sent.size() && to < c.sent.size(),
                 "rank out of range");
   STTSV_REQUIRE(from != to, "self-messages are local copies, not comm");
-  sent_[from] += words;
-  received_[to] += words;
-  ++msg_sent_[from];
-  ++msg_received_[to];
-  pair_[pair_key(from, to)] += words;
+  c.sent[from] += words;
+  c.received[to] += words;
+  ++c.msg_sent[from];
+  ++c.msg_received[to];
+  if (channel == Channel::kGoodput) pair_[pair_key(from, to)] += words;
 }
 
-void CommLedger::record_overhead(std::size_t from, std::size_t to,
-                                 std::size_t words) {
-  STTSV_REQUIRE(from < sent_.size() && to < sent_.size(),
-                "rank out of range");
-  STTSV_REQUIRE(from != to, "self-messages are local copies, not comm");
-  overhead_sent_[from] += words;
-  overhead_received_[to] += words;
-  ++overhead_msgs_;
+void CommLedger::add_rounds(Channel channel, std::size_t k) {
+  chan(channel).rounds += k;
 }
-
-void CommLedger::record_recovery(std::size_t from, std::size_t to,
-                                 std::size_t words) {
-  STTSV_REQUIRE(from < sent_.size() && to < sent_.size(),
-                "rank out of range");
-  STTSV_REQUIRE(from != to, "self-messages are local copies, not comm");
-  recovery_sent_[from] += words;
-  recovery_received_[to] += words;
-  ++recovery_msgs_;
-}
-
-void CommLedger::add_rounds(std::size_t k) { rounds_ += k; }
-
-void CommLedger::add_overhead_rounds(std::size_t k) { overhead_rounds_ += k; }
-
-void CommLedger::add_recovery_rounds(std::size_t k) { recovery_rounds_ += k; }
 
 void CommLedger::add_modeled_collective_words(std::size_t words_per_rank) {
   modeled_words_ += words_per_rank;
 }
 
-std::uint64_t CommLedger::words_sent(std::size_t rank) const {
-  STTSV_REQUIRE(rank < sent_.size(), "rank out of range");
-  return sent_[rank];
+std::uint64_t CommLedger::words_sent(Channel channel,
+                                     std::size_t rank) const {
+  const ChannelCounters& c = chan(channel);
+  STTSV_REQUIRE(rank < c.sent.size(), "rank out of range");
+  return c.sent[rank];
 }
 
-std::uint64_t CommLedger::words_received(std::size_t rank) const {
-  STTSV_REQUIRE(rank < received_.size(), "rank out of range");
-  return received_[rank];
+std::uint64_t CommLedger::words_received(Channel channel,
+                                         std::size_t rank) const {
+  const ChannelCounters& c = chan(channel);
+  STTSV_REQUIRE(rank < c.received.size(), "rank out of range");
+  return c.received[rank];
 }
 
 std::uint64_t CommLedger::messages_sent(std::size_t rank) const {
-  STTSV_REQUIRE(rank < msg_sent_.size(), "rank out of range");
-  return msg_sent_[rank];
+  const ChannelCounters& c = chan(Channel::kGoodput);
+  STTSV_REQUIRE(rank < c.msg_sent.size(), "rank out of range");
+  return c.msg_sent[rank];
 }
 
 std::uint64_t CommLedger::messages_received(std::size_t rank) const {
-  STTSV_REQUIRE(rank < msg_received_.size(), "rank out of range");
-  return msg_received_[rank];
+  const ChannelCounters& c = chan(Channel::kGoodput);
+  STTSV_REQUIRE(rank < c.msg_received.size(), "rank out of range");
+  return c.msg_received[rank];
 }
 
-std::uint64_t CommLedger::overhead_words_sent(std::size_t rank) const {
-  STTSV_REQUIRE(rank < overhead_sent_.size(), "rank out of range");
-  return overhead_sent_[rank];
+std::uint64_t CommLedger::max_words_sent(Channel channel) const {
+  const ChannelCounters& c = chan(channel);
+  return *std::max_element(c.sent.begin(), c.sent.end());
 }
 
-std::uint64_t CommLedger::overhead_words_received(std::size_t rank) const {
-  STTSV_REQUIRE(rank < overhead_received_.size(), "rank out of range");
-  return overhead_received_[rank];
+std::uint64_t CommLedger::max_words_received(Channel channel) const {
+  const ChannelCounters& c = chan(channel);
+  return *std::max_element(c.received.begin(), c.received.end());
 }
 
-std::uint64_t CommLedger::recovery_words_sent(std::size_t rank) const {
-  STTSV_REQUIRE(rank < recovery_sent_.size(), "rank out of range");
-  return recovery_sent_[rank];
+std::uint64_t CommLedger::total_words(Channel channel) const {
+  std::uint64_t total = 0;
+  for (const auto w : chan(channel).sent) total += w;
+  return total;
 }
 
-std::uint64_t CommLedger::recovery_words_received(std::size_t rank) const {
-  STTSV_REQUIRE(rank < recovery_received_.size(), "rank out of range");
-  return recovery_received_[rank];
+std::uint64_t CommLedger::total_messages(Channel channel) const {
+  std::uint64_t total = 0;
+  for (const auto m : chan(channel).msg_sent) total += m;
+  return total;
 }
 
-std::uint64_t CommLedger::max_words_sent() const {
-  return *std::max_element(sent_.begin(), sent_.end());
-}
-
-std::uint64_t CommLedger::max_words_received() const {
-  return *std::max_element(received_.begin(), received_.end());
-}
-
-std::uint64_t CommLedger::max_overhead_words_sent() const {
-  return *std::max_element(overhead_sent_.begin(), overhead_sent_.end());
-}
-
-std::uint64_t CommLedger::max_overhead_words_received() const {
-  return *std::max_element(overhead_received_.begin(),
-                           overhead_received_.end());
-}
-
-std::uint64_t CommLedger::max_recovery_words_sent() const {
-  return *std::max_element(recovery_sent_.begin(), recovery_sent_.end());
-}
-
-std::uint64_t CommLedger::max_recovery_words_received() const {
-  return *std::max_element(recovery_received_.begin(),
-                           recovery_received_.end());
+std::uint64_t CommLedger::rounds(Channel channel) const {
+  return chan(channel).rounds;
 }
 
 LedgerMaxima CommLedger::maxima() const {
-  return LedgerMaxima{max_words_sent(),
-                      max_words_received(),
-                      max_overhead_words_sent(),
-                      max_overhead_words_received(),
-                      max_recovery_words_sent(),
-                      max_recovery_words_received()};
-}
-
-std::uint64_t CommLedger::total_words() const {
-  std::uint64_t total = 0;
-  for (const auto w : sent_) total += w;
-  return total;
-}
-
-std::uint64_t CommLedger::total_messages() const {
-  std::uint64_t total = 0;
-  for (const auto m : msg_sent_) total += m;
-  return total;
-}
-
-std::uint64_t CommLedger::total_overhead_words() const {
-  std::uint64_t total = 0;
-  for (const auto w : overhead_sent_) total += w;
-  return total;
-}
-
-std::uint64_t CommLedger::total_recovery_words() const {
-  std::uint64_t total = 0;
-  for (const auto w : recovery_sent_) total += w;
-  return total;
+  return LedgerMaxima{max_words_sent(Channel::kGoodput),
+                      max_words_received(Channel::kGoodput),
+                      max_words_sent(Channel::kOverhead),
+                      max_words_received(Channel::kOverhead),
+                      max_words_sent(Channel::kRecovery),
+                      max_words_received(Channel::kRecovery),
+                      max_words_sent(Channel::kOneSided),
+                      max_words_received(Channel::kOneSided)};
 }
 
 std::uint64_t CommLedger::pair_words(std::size_t from, std::size_t to) const {
@@ -175,73 +136,53 @@ std::uint64_t CommLedger::pair_words(std::size_t from, std::size_t to) const {
 
 void CommLedger::to_metrics(obs::MetricsRegistry& out,
                             const std::string& prefix) const {
-  const LedgerMaxima m = maxima();
-  out.set_counter(prefix + ".goodput.max_words_sent", m.words_sent);
-  out.set_counter(prefix + ".goodput.max_words_received", m.words_received);
-  out.set_counter(prefix + ".overhead.max_words_sent", m.overhead_words_sent);
-  out.set_counter(prefix + ".overhead.max_words_received",
-                  m.overhead_words_received);
-  out.set_counter(prefix + ".goodput.total_words", total_words());
-  out.set_counter(prefix + ".goodput.total_messages", total_messages());
-  out.set_counter(prefix + ".goodput.rounds", rounds_);
-  out.set_counter(prefix + ".overhead.total_words", total_overhead_words());
-  out.set_counter(prefix + ".overhead.total_messages", overhead_msgs_);
-  out.set_counter(prefix + ".overhead.rounds", overhead_rounds_);
-  out.set_counter(prefix + ".recovery.max_words_sent",
-                  m.recovery_words_sent);
-  out.set_counter(prefix + ".recovery.max_words_received",
-                  m.recovery_words_received);
-  out.set_counter(prefix + ".recovery.total_words", total_recovery_words());
-  out.set_counter(prefix + ".recovery.total_messages", recovery_msgs_);
-  out.set_counter(prefix + ".recovery.rounds", recovery_rounds_);
+  for (const Channel ch : kAllChannels) {
+    const std::string base = prefix + "." + channel_name(ch);
+    out.set_counter(base + ".max_words_sent", max_words_sent(ch));
+    out.set_counter(base + ".max_words_received", max_words_received(ch));
+    out.set_counter(base + ".total_words", total_words(ch));
+    out.set_counter(base + ".total_messages", total_messages(ch));
+    out.set_counter(base + ".rounds", rounds(ch));
+    const ChannelCounters& c = chan(ch);
+    for (std::size_t p = 0; p < c.sent.size(); ++p) {
+      const std::string rank = ".r" + std::to_string(p);
+      out.set_counter(base + ".words_sent" + rank, c.sent[p]);
+      out.set_counter(base + ".words_received" + rank, c.received[p]);
+      if (ch == Channel::kGoodput) {
+        out.set_counter(base + ".messages_sent" + rank, c.msg_sent[p]);
+      }
+    }
+  }
+  out.set_counter(prefix + ".onesided.sync_ops", sync_ops_);
   out.set_counter(prefix + ".modeled_collective_words", modeled_words_);
   out.set_counter(prefix + ".active_pairs", pair_.size());
-  for (std::size_t p = 0; p < sent_.size(); ++p) {
-    const std::string rank = ".r" + std::to_string(p);
-    out.set_counter(prefix + ".goodput.words_sent" + rank, sent_[p]);
-    out.set_counter(prefix + ".goodput.words_received" + rank, received_[p]);
-    out.set_counter(prefix + ".goodput.messages_sent" + rank, msg_sent_[p]);
-    out.set_counter(prefix + ".overhead.words_sent" + rank,
-                    overhead_sent_[p]);
-    out.set_counter(prefix + ".overhead.words_received" + rank,
-                    overhead_received_[p]);
-    out.set_counter(prefix + ".recovery.words_sent" + rank,
-                    recovery_sent_[p]);
-  }
 }
 
 void CommLedger::verify_conservation() const {
-  std::uint64_t s = 0;
-  std::uint64_t r = 0;
-  std::uint64_t os = 0;
-  std::uint64_t orx = 0;
-  std::uint64_t rs = 0;
-  std::uint64_t rr = 0;
-  for (std::size_t p = 0; p < sent_.size(); ++p) {
-    s += sent_[p];
-    r += received_[p];
-    os += overhead_sent_[p];
-    orx += overhead_received_[p];
-    rs += recovery_sent_[p];
-    rr += recovery_received_[p];
+  for (const Channel ch : kAllChannels) {
+    const ChannelCounters& c = chan(ch);
+    std::uint64_t s = 0;
+    std::uint64_t r = 0;
+    for (std::size_t p = 0; p < c.sent.size(); ++p) {
+      s += c.sent[p];
+      r += c.received[p];
+    }
+    // Keep the historical message for the goodput channel; the others
+    // name themselves.
+    const std::string what =
+        ch == Channel::kGoodput
+            ? std::string("ledger conservation violated (sent != received)")
+            : std::string("ledger conservation violated (") +
+                  channel_name(ch) + " sent != received)";
+    STTSV_CHECK(s == r, what.c_str());
   }
-  STTSV_CHECK(s == r, "ledger conservation violated (sent != received)");
-  STTSV_CHECK(os == orx,
-              "ledger conservation violated (overhead sent != received)");
-  STTSV_CHECK(rs == rr,
-              "ledger conservation violated (recovery sent != received)");
 }
 
-void CommLedger::debug_skew_sent_for_test(std::size_t rank,
+void CommLedger::debug_skew_sent_for_test(Channel channel, std::size_t rank,
                                           std::uint64_t words) {
-  STTSV_REQUIRE(rank < sent_.size(), "rank out of range");
-  sent_[rank] += words;
-}
-
-void CommLedger::debug_skew_recovery_sent_for_test(std::size_t rank,
-                                                   std::uint64_t words) {
-  STTSV_REQUIRE(rank < recovery_sent_.size(), "rank out of range");
-  recovery_sent_[rank] += words;
+  ChannelCounters& c = chan(channel);
+  STTSV_REQUIRE(rank < c.sent.size(), "rank out of range");
+  c.sent[rank] += words;
 }
 
 }  // namespace sttsv::simt

@@ -10,7 +10,10 @@
 //    a bandwidth-optimal All-to-All takes P-1 steps each costing the
 //    maximum per-pair message size (so empty slots still pay).
 //
-// Measured traffic is split into three channels (DESIGN.md §10, §15):
+// Measured traffic is split into four channels (DESIGN.md §10, §15, §16),
+// each with identical per-rank counters kept in one Channel-indexed array
+// so adding a channel is one enum entry, not another copy of the
+// counters, maxima and conservation arms:
 //
 //  * goodput — unique useful payload words, the quantity Theorem 5.2
 //    bounds. Under the resilient protocol each logical payload is charged
@@ -26,9 +29,17 @@
 //    crash (DESIGN.md §15). Kept apart from overhead so the measured
 //    redistribution cost can be checked word-for-word against the
 //    block-movement diff computed by the elastic planner.
+//  * onesided — payload words Put directly into a peer's registered
+//    segment (DESIGN.md §16). One-sided writes carry no per-message
+//    framing and no mailbox hop, so the channel's "messages" count the
+//    Puts themselves while the α-term cost lives in the separate
+//    synchronization counter (sync_ops): epoch fences at origins plus
+//    exposure notifications at targets. Conservation holds per channel
+//    exactly as for two-sided traffic.
 
 #include <cstddef>
 #include <cstdint>
+#include <array>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,10 +50,24 @@ class MetricsRegistry;
 
 namespace sttsv::simt {
 
+/// The measured-traffic channels, in declaration order of their history:
+/// goodput (PR 0), overhead (PR 3), recovery (PR 8), onesided (PR 9).
+enum class Channel : std::uint8_t {
+  kGoodput = 0,
+  kOverhead = 1,
+  kRecovery = 2,
+  kOneSided = 3,
+};
+
+inline constexpr std::size_t kNumChannels = 4;
+
+/// Stable lowercase name, used for metric keys and error messages.
+[[nodiscard]] const char* channel_name(Channel c);
+
 /// The per-run maxima bounded by the paper's Theorem 5.2: max over ranks
 /// of words sent and of words received (equal for symmetric exchanges).
-/// The overhead maxima cover the resilience channel, which the bound does
-/// not constrain but the resilience benches plot against fault rate.
+/// The overhead/recovery/onesided maxima cover the channels the bound
+/// does not constrain but the benches plot.
 struct LedgerMaxima {
   std::uint64_t words_sent = 0;
   std::uint64_t words_received = 0;
@@ -50,80 +75,180 @@ struct LedgerMaxima {
   std::uint64_t overhead_words_received = 0;
   std::uint64_t recovery_words_sent = 0;
   std::uint64_t recovery_words_received = 0;
+  std::uint64_t onesided_words_sent = 0;
+  std::uint64_t onesided_words_received = 0;
 };
 
 class CommLedger {
  public:
   explicit CommLedger(std::size_t num_ranks);
 
-  void record_message(std::size_t from, std::size_t to, std::size_t words);
+  /// Records one message from -> to of `words` payload words on the given
+  /// channel. Goodput messages additionally feed the per-pair table.
+  void record(Channel channel, std::size_t from, std::size_t to,
+              std::size_t words);
+
+  /// Adds k communication rounds to the given channel (steps in the
+  /// paper's sense: in one round a rank sends at most one message and
+  /// receives at most one).
+  void add_rounds(Channel channel, std::size_t k);
+
+  // Named per-channel entry points, kept for the existing call sites.
+  void record_message(std::size_t from, std::size_t to, std::size_t words) {
+    record(Channel::kGoodput, from, to, words);
+  }
 
   /// Records protocol-overhead words from -> to (framing, ACKs,
   /// retransmissions, duplicates). Kept out of the goodput counters so
   /// the Theorem 5.2 check stays phrased on goodput alone.
-  void record_overhead(std::size_t from, std::size_t to, std::size_t words);
-
-  /// Adds k communication rounds (steps in the paper's sense: in one round
-  /// a rank sends at most one message and receives at most one).
-  void add_rounds(std::size_t k);
-
-  /// Adds k rounds spent purely on resilience (ACK rounds, retransmission
-  /// rounds, backoff waits) rather than on goodput delivery.
-  void add_overhead_rounds(std::size_t k);
+  void record_overhead(std::size_t from, std::size_t to, std::size_t words) {
+    record(Channel::kOverhead, from, to, words);
+  }
 
   /// Records rank-loss redistribution words from -> to (x-share slices
-  /// re-homed onto survivors, DESIGN.md §15). A third channel so the
-  /// elastic planner's modeled diff can be checked against measured
-  /// traffic without touching the Theorem 5.2 goodput quantity.
-  void record_recovery(std::size_t from, std::size_t to, std::size_t words);
+  /// re-homed onto survivors, DESIGN.md §15).
+  void record_recovery(std::size_t from, std::size_t to, std::size_t words) {
+    record(Channel::kRecovery, from, to, words);
+  }
 
-  /// Adds k rounds spent moving redistribution traffic after a shrink.
-  void add_recovery_rounds(std::size_t k);
+  /// Records a one-sided Put of `words` payload words landing directly in
+  /// `to`'s registered segment (DESIGN.md §16).
+  void record_onesided(std::size_t from, std::size_t to, std::size_t words) {
+    record(Channel::kOneSided, from, to, words);
+  }
+
+  void add_rounds(std::size_t k) { add_rounds(Channel::kGoodput, k); }
+  void add_overhead_rounds(std::size_t k) {
+    add_rounds(Channel::kOverhead, k);
+  }
+  void add_recovery_rounds(std::size_t k) {
+    add_rounds(Channel::kRecovery, k);
+  }
+  void add_onesided_rounds(std::size_t k) {
+    add_rounds(Channel::kOneSided, k);
+  }
+
+  /// Counts k one-sided synchronization operations: epoch fences issued
+  /// by origins and exposure notifications observed by targets. This is
+  /// the α-term cost of the one-sided channel — Puts themselves pay only
+  /// bandwidth — so bench_transport compares Direct's message count
+  /// against the Put count plus this.
+  void add_sync_ops(std::size_t k) { sync_ops_ += k; }
 
   /// Adds modeled collective cost: per-rank words the paper's model charges
   /// for a collective phase (e.g. (P-1) * max message size for All-to-All).
   void add_modeled_collective_words(std::size_t words_per_rank);
 
-  [[nodiscard]] std::size_t num_ranks() const { return sent_.size(); }
+  [[nodiscard]] std::size_t num_ranks() const {
+    return chan_[0].sent.size();
+  }
 
-  [[nodiscard]] std::uint64_t words_sent(std::size_t rank) const;
-  [[nodiscard]] std::uint64_t words_received(std::size_t rank) const;
+  // Generic per-channel accessors.
+  [[nodiscard]] std::uint64_t words_sent(Channel channel,
+                                         std::size_t rank) const;
+  [[nodiscard]] std::uint64_t words_received(Channel channel,
+                                             std::size_t rank) const;
+  [[nodiscard]] std::uint64_t max_words_sent(Channel channel) const;
+  [[nodiscard]] std::uint64_t max_words_received(Channel channel) const;
+  [[nodiscard]] std::uint64_t total_words(Channel channel) const;
+  [[nodiscard]] std::uint64_t total_messages(Channel channel) const;
+  [[nodiscard]] std::uint64_t rounds(Channel channel) const;
+
+  // Goodput shorthands (the Theorem 5.2 quantities).
+  [[nodiscard]] std::uint64_t words_sent(std::size_t rank) const {
+    return words_sent(Channel::kGoodput, rank);
+  }
+  [[nodiscard]] std::uint64_t words_received(std::size_t rank) const {
+    return words_received(Channel::kGoodput, rank);
+  }
   [[nodiscard]] std::uint64_t messages_sent(std::size_t rank) const;
   [[nodiscard]] std::uint64_t messages_received(std::size_t rank) const;
-  [[nodiscard]] std::uint64_t overhead_words_sent(std::size_t rank) const;
-  [[nodiscard]] std::uint64_t overhead_words_received(std::size_t rank) const;
-  [[nodiscard]] std::uint64_t recovery_words_sent(std::size_t rank) const;
-  [[nodiscard]] std::uint64_t recovery_words_received(std::size_t rank) const;
+  [[nodiscard]] std::uint64_t overhead_words_sent(std::size_t rank) const {
+    return words_sent(Channel::kOverhead, rank);
+  }
+  [[nodiscard]] std::uint64_t overhead_words_received(std::size_t rank) const {
+    return words_received(Channel::kOverhead, rank);
+  }
+  [[nodiscard]] std::uint64_t recovery_words_sent(std::size_t rank) const {
+    return words_sent(Channel::kRecovery, rank);
+  }
+  [[nodiscard]] std::uint64_t recovery_words_received(std::size_t rank) const {
+    return words_received(Channel::kRecovery, rank);
+  }
+  [[nodiscard]] std::uint64_t onesided_words_sent(std::size_t rank) const {
+    return words_sent(Channel::kOneSided, rank);
+  }
+  [[nodiscard]] std::uint64_t onesided_words_received(std::size_t rank) const {
+    return words_received(Channel::kOneSided, rank);
+  }
 
   /// max_p (words sent by p + nothing else): the paper's "number of words
   /// sent or received by any processor" uses max over ranks of send (==
   /// receive for our symmetric exchanges); expose both.
-  [[nodiscard]] std::uint64_t max_words_sent() const;
-  [[nodiscard]] std::uint64_t max_words_received() const;
-  [[nodiscard]] std::uint64_t max_overhead_words_sent() const;
-  [[nodiscard]] std::uint64_t max_overhead_words_received() const;
-  [[nodiscard]] std::uint64_t max_recovery_words_sent() const;
-  [[nodiscard]] std::uint64_t max_recovery_words_received() const;
+  [[nodiscard]] std::uint64_t max_words_sent() const {
+    return max_words_sent(Channel::kGoodput);
+  }
+  [[nodiscard]] std::uint64_t max_words_received() const {
+    return max_words_received(Channel::kGoodput);
+  }
+  [[nodiscard]] std::uint64_t max_overhead_words_sent() const {
+    return max_words_sent(Channel::kOverhead);
+  }
+  [[nodiscard]] std::uint64_t max_overhead_words_received() const {
+    return max_words_received(Channel::kOverhead);
+  }
+  [[nodiscard]] std::uint64_t max_recovery_words_sent() const {
+    return max_words_sent(Channel::kRecovery);
+  }
+  [[nodiscard]] std::uint64_t max_recovery_words_received() const {
+    return max_words_received(Channel::kRecovery);
+  }
+  [[nodiscard]] std::uint64_t max_onesided_words_sent() const {
+    return max_words_sent(Channel::kOneSided);
+  }
+  [[nodiscard]] std::uint64_t max_onesided_words_received() const {
+    return max_words_received(Channel::kOneSided);
+  }
 
   /// All channel maxima in one reduction — the set every run result reports.
   [[nodiscard]] LedgerMaxima maxima() const;
-  [[nodiscard]] std::uint64_t total_words() const;
-  [[nodiscard]] std::uint64_t total_messages() const;
-  [[nodiscard]] std::uint64_t total_overhead_words() const;
-  [[nodiscard]] std::uint64_t total_recovery_words() const;
+  [[nodiscard]] std::uint64_t total_words() const {
+    return total_words(Channel::kGoodput);
+  }
+  [[nodiscard]] std::uint64_t total_messages() const {
+    return total_messages(Channel::kGoodput);
+  }
+  [[nodiscard]] std::uint64_t total_overhead_words() const {
+    return total_words(Channel::kOverhead);
+  }
+  [[nodiscard]] std::uint64_t total_recovery_words() const {
+    return total_words(Channel::kRecovery);
+  }
+  [[nodiscard]] std::uint64_t total_onesided_words() const {
+    return total_words(Channel::kOneSided);
+  }
   [[nodiscard]] std::uint64_t overhead_messages() const {
-    return overhead_msgs_;
+    return total_messages(Channel::kOverhead);
   }
   [[nodiscard]] std::uint64_t recovery_messages() const {
-    return recovery_msgs_;
+    return total_messages(Channel::kRecovery);
   }
-  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+  [[nodiscard]] std::uint64_t onesided_messages() const {
+    return total_messages(Channel::kOneSided);
+  }
+  [[nodiscard]] std::uint64_t rounds() const {
+    return rounds(Channel::kGoodput);
+  }
   [[nodiscard]] std::uint64_t overhead_rounds() const {
-    return overhead_rounds_;
+    return rounds(Channel::kOverhead);
   }
   [[nodiscard]] std::uint64_t recovery_rounds() const {
-    return recovery_rounds_;
+    return rounds(Channel::kRecovery);
   }
+  [[nodiscard]] std::uint64_t onesided_rounds() const {
+    return rounds(Channel::kOneSided);
+  }
+  [[nodiscard]] std::uint64_t sync_ops() const { return sync_ops_; }
   [[nodiscard]] std::uint64_t modeled_collective_words() const {
     return modeled_words_;
   }
@@ -136,42 +261,55 @@ class CommLedger {
   [[nodiscard]] std::size_t active_pairs() const { return pair_.size(); }
 
   /// Publishes the full ledger state into `out` under `prefix` (DESIGN.md
-  /// §11): per-rank goodput and overhead words/messages as
-  /// "<prefix>.goodput.words_sent.r<p>" counters, the four maxima()
-  /// values, totals, rounds and modeled collective words. Values are set
-  /// absolutely (set_counter), so exporting twice is idempotent. The
-  /// Theorem 5.2 quantities remain phrased on the goodput channel alone.
+  /// §11): per channel the maxima, totals, message counts and rounds plus
+  /// per-rank words as "<prefix>.<channel>.words_sent.r<p>" counters, the
+  /// one-sided sync-op count, modeled collective words and the active
+  /// pair count. Values are set absolutely (set_counter), so exporting
+  /// twice is idempotent. The Theorem 5.2 quantities remain phrased on
+  /// the goodput channel alone.
   void to_metrics(obs::MetricsRegistry& out,
                   const std::string& prefix = "ledger") const;
 
-  /// Conservation check on all three channels: Σ sent == Σ received for
-  /// goodput, overhead and recovery (throws InternalError on violation).
+  /// Conservation check on all four channels: Σ sent == Σ received for
+  /// goodput, overhead, recovery and onesided (throws InternalError on
+  /// violation).
   void verify_conservation() const;
 
-  /// Test-only mutation hook: skews rank's sent-words counter without a
-  /// matching receive so failure-injection tests can prove that
-  /// verify_conservation actually fires. Never call outside tests.
-  void debug_skew_sent_for_test(std::size_t rank, std::uint64_t words);
-
-  /// Same, for the recovery channel's sent counter.
+  /// Test-only mutation hook: skews rank's sent-words counter on the
+  /// given channel without a matching receive so failure-injection tests
+  /// can prove that verify_conservation actually fires on every channel.
+  /// Never call outside tests.
+  void debug_skew_sent_for_test(Channel channel, std::size_t rank,
+                                std::uint64_t words);
+  void debug_skew_sent_for_test(std::size_t rank, std::uint64_t words) {
+    debug_skew_sent_for_test(Channel::kGoodput, rank, words);
+  }
   void debug_skew_recovery_sent_for_test(std::size_t rank,
-                                         std::uint64_t words);
+                                         std::uint64_t words) {
+    debug_skew_sent_for_test(Channel::kRecovery, rank, words);
+  }
 
  private:
-  std::vector<std::uint64_t> sent_;
-  std::vector<std::uint64_t> received_;
-  std::vector<std::uint64_t> msg_sent_;
-  std::vector<std::uint64_t> msg_received_;
-  std::vector<std::uint64_t> overhead_sent_;
-  std::vector<std::uint64_t> overhead_received_;
-  std::vector<std::uint64_t> recovery_sent_;
-  std::vector<std::uint64_t> recovery_received_;
+  /// One channel's complete account: per-rank words and messages in both
+  /// directions plus the rounds spent moving them.
+  struct ChannelCounters {
+    std::vector<std::uint64_t> sent;
+    std::vector<std::uint64_t> received;
+    std::vector<std::uint64_t> msg_sent;
+    std::vector<std::uint64_t> msg_received;
+    std::uint64_t rounds = 0;
+  };
+
+  [[nodiscard]] const ChannelCounters& chan(Channel channel) const {
+    return chan_[static_cast<std::size_t>(channel)];
+  }
+  [[nodiscard]] ChannelCounters& chan(Channel channel) {
+    return chan_[static_cast<std::size_t>(channel)];
+  }
+
+  std::array<ChannelCounters, kNumChannels> chan_;
   std::unordered_map<std::uint64_t, std::uint64_t> pair_;
-  std::uint64_t overhead_msgs_ = 0;
-  std::uint64_t recovery_msgs_ = 0;
-  std::uint64_t rounds_ = 0;
-  std::uint64_t overhead_rounds_ = 0;
-  std::uint64_t recovery_rounds_ = 0;
+  std::uint64_t sync_ops_ = 0;
   std::uint64_t modeled_words_ = 0;
 };
 

@@ -1,0 +1,39 @@
+#pragma once
+// Transport selection vocabulary (DESIGN.md §16). The enum lives in simt
+// so the batch/serve option structs can name a backend without pulling in
+// the one-sided subsystem; the factory that actually constructs backends
+// is simt::make_exchanger in src/onesided/make_exchanger.hpp (declared
+// there because it must see every concrete Exchanger).
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sttsv::simt {
+
+/// The four exchange backends a driver can run on. Spelled exactly like
+/// the STTSV_TRANSPORT environment values and bench CLI flags.
+enum class TransportKind {
+  kDirect,         // "direct":   raw machine semantics, zero overhead
+  kReliable,       // "reliable": framed/ACKed protocol (ReliableExchange)
+  kOneSidedPut,    // "onesided": Puts into registered segments, view
+                   //             deliveries, no framing round
+  kActiveMessage,  // "am":       onesided + remote-reduce handler at the
+                   //             target (no unpack-and-reduce at all)
+};
+
+/// Stable lowercase spelling: direct | reliable | onesided | am.
+[[nodiscard]] const char* transport_kind_name(TransportKind kind);
+
+/// Parses the spellings above; nullopt for anything else.
+[[nodiscard]] std::optional<TransportKind> parse_transport_kind(
+    std::string_view text);
+
+/// Reads STTSV_TRANSPORT from the environment: unset or empty returns
+/// `fallback`; an unparsable value throws PreconditionError naming the
+/// accepted spellings. Benches and serving call this once at startup so
+/// one env var swaps the backend under every driver.
+[[nodiscard]] TransportKind transport_kind_from_env(
+    TransportKind fallback = TransportKind::kDirect);
+
+}  // namespace sttsv::simt
