@@ -63,11 +63,7 @@ struct Cell {
   std::size_t n = 0;
   std::size_t B = 0;
   TransportKind kind = TransportKind::kDirect;
-  std::uint64_t messages = 0;  // α-term count: envelopes or sync ops
-  std::uint64_t payload_words = 0;
-  std::uint64_t overhead_words = 0;
-  std::uint64_t sync_ops = 0;
-  std::uint64_t rounds = 0;
+  repro::LedgerRollup led;  // shared per-backend rollup (repro_common)
   double words_per_s = 0.0;
   bool bitwise = false;
 };
@@ -148,27 +144,18 @@ int main(int argc, char** argv) {
               std::chrono::duration<double>(Clock::now() - t0).count();
           machine.ledger().verify_conservation();
 
-          const simt::CommLedger& led = machine.ledger();
           Cell cell;
           cell.family = fam.name;
           cell.P = P;
           cell.n = n;
           cell.B = B;
           cell.kind = kind;
-          cell.payload_words =
-              led.total_words() + led.total_onesided_words();
-          cell.overhead_words = led.total_overhead_words();
-          cell.sync_ops = led.sync_ops();
           const bool onesided = kind == TransportKind::kOneSidedPut ||
                                 kind == TransportKind::kActiveMessage;
-          cell.messages = onesided ? led.sync_ops()
-                                   : led.total_messages() +
-                                         led.overhead_messages();
-          cell.rounds = led.rounds(simt::Channel::kGoodput) +
-                        led.overhead_rounds() + led.onesided_rounds();
+          cell.led = repro::ledger_rollup(machine.ledger(), onesided);
           cell.words_per_s =
-              secs > 0.0 ? static_cast<double>(cell.payload_words +
-                                               cell.overhead_words) /
+              secs > 0.0 ? static_cast<double>(cell.led.payload_words +
+                                               cell.led.overhead_words) /
                                secs
                          : 0.0;
           if (want.empty()) {
@@ -195,14 +182,14 @@ int main(int argc, char** argv) {
         const std::string tag = std::string(fam.name) +
                                 " n=" + std::to_string(n) +
                                 " B=" + std::to_string(B) + ": ";
-        check.check(put.payload_words == direct.payload_words,
+        check.check(put.led.payload_words == direct.led.payload_words,
                     tag + "one-sided moves exactly direct's payload words");
-        check.check(put.messages < direct.messages,
+        check.check(put.led.messages < direct.led.messages,
                     tag + "one-sided message count (sync ops) strictly "
                           "below direct envelopes");
-        check.check(am.messages == put.messages,
+        check.check(am.led.messages == put.led.messages,
                     tag + "active-message epoch pays the same sync ops");
-        check.check(put.rounds == direct.rounds,
+        check.check(put.led.rounds == direct.led.rounds,
                     tag + "one-sided rounds follow the König schedule");
       }
     }
@@ -216,10 +203,11 @@ int main(int argc, char** argv) {
     table.add_row({c.family, std::to_string(c.P), std::to_string(c.n),
                    std::to_string(c.B),
                    simt::transport_kind_name(c.kind),
-                   std::to_string(c.messages),
-                   std::to_string(c.payload_words),
-                   std::to_string(c.overhead_words),
-                   std::to_string(c.sync_ops), std::to_string(c.rounds),
+                   std::to_string(c.led.messages),
+                   std::to_string(c.led.payload_words),
+                   std::to_string(c.led.overhead_words),
+                   std::to_string(c.led.sync_ops),
+                   std::to_string(c.led.rounds),
                    format_double(c.words_per_s / 1e6, 2),
                    c.bitwise ? "yes" : "NO"});
   }
@@ -241,11 +229,7 @@ int main(int argc, char** argv) {
       w.field("n", static_cast<std::uint64_t>(c.n));
       w.field("B", static_cast<std::uint64_t>(c.B));
       w.field("transport", simt::transport_kind_name(c.kind));
-      w.field("messages", c.messages);
-      w.field("payload_words", c.payload_words);
-      w.field("overhead_words", c.overhead_words);
-      w.field("sync_ops", c.sync_ops);
-      w.field("rounds", c.rounds);
+      repro::write_ledger_rollup(w, c.led);
       w.field("words_per_s", c.words_per_s);
       w.field("bitwise", c.bitwise);
       w.end_object();

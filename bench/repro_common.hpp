@@ -106,7 +106,69 @@ inline void write_ledger_channels(JsonWriter& w,
   w.field("onesided_messages", ledger.onesided_messages());
   w.field("onesided_rounds", ledger.onesided_rounds());
   w.field("sync_ops", ledger.sync_ops());
+  // Per-level split (DESIGN.md §17): zero for a flat machine (everything
+  // lands intra when no node map is installed).
+  w.field("num_nodes", static_cast<std::uint64_t>(ledger.num_nodes()));
+  w.field("intra_payload_words",
+          ledger.total_payload_words(simt::Level::kIntra));
+  w.field("inter_payload_words",
+          ledger.total_payload_words(simt::Level::kInter));
+  w.field("intra_sync_ops", ledger.sync_ops(simt::Level::kIntra));
+  w.field("inter_sync_ops", ledger.sync_ops(simt::Level::kInter));
   w.end_object();
+}
+
+/// One bench cell's view of a finished run's ledger — the per-backend
+/// rollup every transport-style bench (bench_transport, bench_hierarchy)
+/// extracts: the α-term "messages" count (envelopes for two-sided
+/// transports; sync ops for one-sided/AM/hierarchical, whose Puts pay
+/// bandwidth only), payload and overhead words, rounds across the
+/// channels a backend uses, and the per-level split.
+struct LedgerRollup {
+  std::uint64_t messages = 0;  // α-term count: envelopes or sync ops
+  std::uint64_t payload_words = 0;
+  std::uint64_t overhead_words = 0;
+  std::uint64_t sync_ops = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t intra_words = 0;
+  std::uint64_t inter_words = 0;
+  std::uint64_t intra_sync_ops = 0;
+  std::uint64_t inter_sync_ops = 0;
+};
+
+/// `onesided_alpha` selects the α-term rule: true for backends whose
+/// latency cost is epoch synchronization (one-sided, active-message,
+/// hierarchical), false for envelope-counting two-sided backends.
+inline LedgerRollup ledger_rollup(const simt::CommLedger& led,
+                                  bool onesided_alpha) {
+  LedgerRollup r;
+  r.payload_words = led.total_words() + led.total_onesided_words();
+  r.overhead_words = led.total_overhead_words();
+  r.sync_ops = led.sync_ops();
+  r.messages = onesided_alpha
+                   ? led.sync_ops()
+                   : led.total_messages() + led.overhead_messages();
+  r.rounds = led.rounds(simt::Channel::kGoodput) + led.overhead_rounds() +
+             led.onesided_rounds();
+  r.intra_words = led.total_payload_words(simt::Level::kIntra);
+  r.inter_words = led.total_payload_words(simt::Level::kInter);
+  r.intra_sync_ops = led.sync_ops(simt::Level::kIntra);
+  r.inter_sync_ops = led.sync_ops(simt::Level::kInter);
+  return r;
+}
+
+/// Emits a LedgerRollup's fields into the current JSON object scope —
+/// the shared slice of every sttsv.bench/v1 sweep cell.
+inline void write_ledger_rollup(JsonWriter& w, const LedgerRollup& r) {
+  w.field("messages", r.messages);
+  w.field("payload_words", r.payload_words);
+  w.field("overhead_words", r.overhead_words);
+  w.field("sync_ops", r.sync_ops);
+  w.field("rounds", r.rounds);
+  w.field("intra_words", r.intra_words);
+  w.field("inter_words", r.inter_words);
+  w.field("intra_sync_ops", r.intra_sync_ops);
+  w.field("inter_sync_ops", r.inter_sync_ops);
 }
 
 /// The one observability block every bench artifact shares: the ledger's

@@ -56,9 +56,12 @@ BatchRunResult parallel_sttsv_batch(
   // ---- Phase 1: one aggregated x message per (rank, peer) pair. -------
   // Per-rank panels are seeded with own shares before the exchange so
   // every pipeline part's deliveries land into disjoint panel slices.
+  // Seeded on the worker threads (run_ranks) so each rank's panel is
+  // first-touched where its kernels will run (DESIGN.md §17); rank
+  // programs stay disjoint, so the output is bitwise unchanged.
   obs::Span x_phase("batch.x-panel", obs::Category::kSuperstep, B);
   std::vector<std::vector<double>> x_loc(P);
-  for (std::size_t p = 0; p < P; ++p) {
+  machine.run_ranks([&](std::size_t p) {
     x_loc[p].assign(part.R(p).size() * b * B, 0.0);
     for (const std::size_t i : part.R(p)) {
       const Share s = dist.share(i, p);
@@ -66,7 +69,7 @@ BatchRunResult parallel_sttsv_batch(
                   x_loc[p].data() +
                       (plan.local_index(p, i) * b + s.offset) * B);
     }
-  }
+  });
 
   const auto pack_x = [&](std::size_t c) {
     std::vector<std::vector<Envelope>> outboxes(P);

@@ -23,13 +23,22 @@ Engine::Engine(simt::Machine& machine, std::shared_ptr<const Plan> plan,
                     &opts_.exchanger->machine() == &machine_,
                 "engine exchanger must wrap the engine's machine");
   if (opts_.exchanger == nullptr &&
-      opts_.transport != simt::TransportKind::kDirect) {
-    owned_exchanger_ = simt::make_exchanger(machine_, opts_.transport);
+      (opts_.transport != simt::TransportKind::kDirect ||
+       !opts_.topology.empty())) {
+    // A bare topology (flat transport) still goes through the factory:
+    // it installs the node map so the ledger splits by level.
+    simt::ExchangerConfig config;
+    config.kind = opts_.transport;
+    config.node_of = opts_.topology;
+    config.hier_inter = opts_.hier_inter;
+    owned_exchanger_ = simt::make_exchanger(machine_, config);
     opts_.exchanger = owned_exchanger_.get();
   }
   // Size the pool for a full-width batch up front so even the first
-  // batch's message path is allocation-free (DESIGN.md §12).
+  // batch's message path is allocation-free (DESIGN.md §12), then fault
+  // the reserved slabs in from their consumer threads (DESIGN.md §17).
   plan_->prewarm_pool(machine_.pool(), opts_.max_batch_size);
+  machine_.first_touch();
 }
 
 void Engine::assert_owner() const {
@@ -79,6 +88,7 @@ void Engine::rebind_plan(std::shared_ptr<const Plan> plan) {
   STTSV_REQUIRE(machine_.num_ranks() == plan->num_processors(),
                 "machine rank count must match the rebound plan");
   plan->prewarm_pool(machine_.pool(), opts_.max_batch_size);
+  machine_.first_touch();
   plan_ = std::move(plan);
 }
 

@@ -53,6 +53,15 @@ struct EngineOptions {
   /// Phase schedule for every batch (see core::parallel_sttsv): outputs
   /// and ledger channels are identical under both modes (DESIGN.md §12).
   simt::PipelineMode pipeline = simt::PipelineMode::kDoubleBuffered;
+  /// Rank -> node map (DESIGN.md §17). Non-empty: the engine installs it
+  /// on the machine's ledger (per-level accounting) and, when `transport`
+  /// is kHierarchical, builds the hierarchical backend over it. Empty
+  /// with kHierarchical: the STTSV_TOPOLOGY=NxM environment override
+  /// supplies the map. Ignored when an explicit `exchanger` is supplied.
+  std::vector<std::uint32_t> topology;
+  /// Inner backend for the inter-node traffic under kHierarchical
+  /// (direct, reliable or onesided).
+  simt::TransportKind hier_inter = simt::TransportKind::kDirect;
 };
 
 struct EngineStats {

@@ -83,4 +83,17 @@ std::size_t spherical_processor_count(std::size_t q) {
 
 std::size_t spherical_row_blocks(std::size_t q) { return q * q + 1; }
 
+double alpha_beta_time_s(const AlphaBeta& level, std::uint64_t sync_ops,
+                         std::uint64_t words) {
+  return level.alpha_s * static_cast<double>(sync_ops) +
+         level.beta_s_per_word * static_cast<double>(words);
+}
+
+double hier_time_s(const HierCostModel& model, std::uint64_t intra_sync_ops,
+                   std::uint64_t intra_words, std::uint64_t inter_sync_ops,
+                   std::uint64_t inter_words) {
+  return alpha_beta_time_s(model.intra, intra_sync_ops, intra_words) +
+         alpha_beta_time_s(model.inter, inter_sync_ops, inter_words);
+}
+
 }  // namespace sttsv::core

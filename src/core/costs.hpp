@@ -53,4 +53,46 @@ std::size_t spherical_processor_count(std::size_t q);
 /// Number of row blocks m = q²+1 for the spherical family.
 std::size_t spherical_row_blocks(std::size_t q);
 
+// ---------------------------------------------------------------------------
+// Per-level α-β cost model (DESIGN.md §17).
+//
+// The paper's α-β-γ machine prices every message the same. A two-level
+// cluster does not: a node-local hand-off costs shared-memory latency
+// and bandwidth, a cross-node message the full fabric price — typically
+// an order of magnitude apart on both terms. The hierarchy planner
+// scores candidate rank -> node placements with this model; since the
+// intra/inter totals come straight from the per-level ledger (or its
+// closed-form prediction), minimizing the modeled time at fixed total
+// words reduces to minimizing inter-node words, which is exactly what
+// hier::compose_assignment does combinatorially.
+
+/// One network level's latency/bandwidth pair: a message costs
+/// alpha_s + words * beta_s_per_word seconds.
+struct AlphaBeta {
+  double alpha_s = 0.0;
+  double beta_s_per_word = 0.0;
+};
+
+/// Modeled time for `sync_ops` message-startup events moving `words`
+/// payload words on one level.
+double alpha_beta_time_s(const AlphaBeta& level, std::uint64_t sync_ops,
+                         std::uint64_t words);
+
+/// Both levels of the two-level machine, with defaults in the ballpark
+/// of a current cluster: intra ~0.2 µs / ~8 ns-per-word (shared-memory
+/// hand-off of doubles), inter ~2 µs / ~20 ns-per-word (RDMA fabric).
+/// Only the ratios matter for placement decisions.
+struct HierCostModel {
+  AlphaBeta intra{2e-7, 1.6e-10};
+  AlphaBeta inter{2e-6, 2.5e-9};
+};
+
+/// Modeled wall time of one communication schedule: intra and inter
+/// phases priced by their own α-β line (the two networks run in
+/// parallel in reality; summing is the conservative serialization, and
+/// monotone in each level's words, which is all the planner needs).
+double hier_time_s(const HierCostModel& model, std::uint64_t intra_sync_ops,
+                   std::uint64_t intra_words, std::uint64_t inter_sync_ops,
+                   std::uint64_t inter_words);
+
 }  // namespace sttsv::core

@@ -91,9 +91,14 @@ ParallelRunResult parallel_sttsv(simt::Exchanger& exchanger,
   // rank's own share up front, so each pipeline part's deliveries can be
   // unpacked the moment it completes: every delivery writes a disjoint
   // (block, sender-share) slice, making the landing order irrelevant.
+  // Seeding runs on the worker threads (run_ranks) so each rank's block
+  // storage is first-touched by the thread that will feed it to the
+  // kernels — the NUMA placement half of DESIGN.md §17. Rank programs
+  // stay disjoint (rank p writes only x_loc[p]), so the parallel seed is
+  // bitwise identical to the sequential one.
   obs::Span x_phase("sttsv.x-shares", obs::Category::kSuperstep);
   std::vector<std::map<std::size_t, std::vector<double>>> x_loc(P);
-  for (std::size_t p = 0; p < P; ++p) {
+  machine.run_ranks([&](std::size_t p) {
     for (const std::size_t i : part.R(p)) {
       auto& blockvec = x_loc[p][i];
       blockvec.assign(b, 0.0);
@@ -101,7 +106,7 @@ ParallelRunResult parallel_sttsv(simt::Exchanger& exchanger,
       std::copy_n(x_pad.data() + i * b + s.offset, s.length,
                   blockvec.data() + s.offset);
     }
-  }
+  });
 
   // Pack: for each peer, the shares of common row blocks in (row block,
   // sender-share) order — receivers unpack with the same deterministic

@@ -1,0 +1,130 @@
+#pragma once
+// Topology-aware Exchanger (DESIGN.md §17): the hierarchical transport.
+//
+// Every envelope is classified by the Topology: node-local traffic takes
+// the shared-segment fast path, cross-node traffic rides an inner
+// Exchanger (Direct, Reliable, or OneSided — whatever the caller picked
+// for the fabric). The split is invisible to the drivers: deliveries
+// come back merged per target, origin-ascending, exactly as the flat
+// backends hand them over, and the sender-sorted reduction of the
+// drivers makes y bitwise identical to a flat DirectExchange run.
+//
+// The intra-node path is the simulator's PSHM: peers on one node share
+// an address space, so a node-local transfer is an ownership hand-off of
+// the sender's pool slab (SegmentRegistry::put_shared — zero copies),
+// followed by one exposure fence per *node* per epoch. That is the
+// α-term win the per-level ledger makes visible: N fences instead of one
+// envelope per communicating pair. Word counts are unchanged — the
+// ledger charges every intra payload to the onesided channel at the
+// intra level (recovery-flagged envelopes to the recovery channel), so
+// total payload words match the flat run to the word while the
+// *inter-node* words shrink to exactly what the composed partition
+// predicts.
+//
+// Rounds: the intra hand-off of an epoch is one parallel step of each
+// node's crossbar — charged as a single intra-level round; the inner
+// backend charges its own inter-level rounds through the machinery it
+// already has (the per-level ledger classifies them by endpoints).
+//
+// Limits, by design: no wire fault injection on the intra path (a node's
+// shared memory does not drop words; install faults under an inner
+// Reliable backend to exercise the fabric), and no handler delivery —
+// the drivers' sender-sorted reduction already pins the float order, and
+// interleaving an inner AM handler with shared deliveries would not.
+// Dead ranks are honoured on both paths.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hier/topology.hpp"
+#include "onesided/segment_registry.hpp"
+#include "simt/reliable_exchange.hpp"
+
+namespace sttsv::obs {
+class MetricsRegistry;
+}  // namespace sttsv::obs
+
+namespace sttsv::hier {
+
+class HierarchicalExchange final : public simt::Exchanger {
+ public:
+  struct Stats {
+    std::uint64_t epochs = 0;            ///< settled logical exchanges
+    std::uint64_t shared_puts = 0;       ///< node-local zero-copy hand-offs
+    std::uint64_t shared_words = 0;      ///< payload words moved intra-node
+    std::uint64_t node_fences = 0;       ///< intra fences (<= nodes/epoch)
+    std::uint64_t inter_envelopes = 0;   ///< envelopes routed to the fabric
+    std::uint64_t inter_words = 0;       ///< payload words sent cross-node
+  };
+
+  /// Wires the topology into the machine's ledger (set_node_map — the
+  /// machine must not have recorded traffic yet) and takes ownership of
+  /// the inner backend carrying inter-node traffic. The inner exchanger
+  /// must wrap the same machine; the topology must cover its ranks.
+  HierarchicalExchange(simt::Machine& machine, Topology topology,
+                       std::unique_ptr<simt::Exchanger> inter);
+
+  /// One epoch: route every envelope by level, fence the shared segments,
+  /// run the inner exchange, and return the merged (origin-ascending)
+  /// inboxes. Intra deliveries are zero-copy views into the handed-off
+  /// slabs, valid until the next exchange begins.
+  std::vector<std::vector<simt::Delivery>> exchange(
+      std::vector<std::vector<simt::Envelope>> outboxes,
+      simt::Transport transport) override;
+
+  /// Pipelined form: each part() hands intra traffic to the segments and
+  /// inter traffic to the inner backend's own Parts immediately (the
+  /// overlap the pipeline wants); deliveries from both paths are merged
+  /// at finish(). An abandoned Parts settles accounting, delivers
+  /// nothing.
+  [[nodiscard]] std::unique_ptr<Exchanger::Parts> begin_parts(
+      simt::Transport transport) override;
+
+  void set_phase(const char* phase) override;
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] simt::Exchanger& inter() { return *inter_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Publishes Stats into `out` as "<prefix>.*", set absolutely so
+  /// re-export is idempotent.
+  void publish_metrics(obs::MetricsRegistry& out,
+                       const std::string& prefix = "hier") const;
+
+ private:
+  class PartsImpl;
+  friend class PartsImpl;
+
+  /// Intra-side accounting accumulated across parts, settled at the
+  /// node fence.
+  struct EpochState {
+    std::vector<char> node_touched;  ///< node had an intra endpoint
+    std::uint64_t onesided_words = 0;
+    std::uint64_t recovery_words = 0;
+    bool settled = false;  ///< settle_intra ran (it runs at most once)
+  };
+
+  void open_epoch(EpochState& st);
+  /// Splits one part: intra envelopes land in the shared segments (and
+  /// on the ledger) right away; inter envelopes are returned for the
+  /// inner backend. Validates the whole part before touching anything.
+  std::vector<std::vector<simt::Envelope>> route_part(
+      std::vector<std::vector<simt::Envelope>> outboxes, EpochState& st);
+  /// Fences the shared segments: one sync op per touched node, one intra
+  /// round for the epoch's hand-off step.
+  void settle_intra(EpochState& st);
+  /// Merges the fenced shared deliveries into the inner inboxes,
+  /// origin-ascending per target (both inputs arrive origin-sorted).
+  std::vector<std::vector<simt::Delivery>> merge_deliveries(
+      std::vector<std::vector<simt::Delivery>> inter_inboxes);
+
+  Topology topo_;
+  std::unique_ptr<simt::Exchanger> inter_;
+  onesided::SegmentRegistry registry_;
+  Stats stats_;
+};
+
+}  // namespace sttsv::hier

@@ -1,39 +1,5 @@
 #pragma once
-// The one transport factory (DESIGN.md §16). Declared in sttsv::simt —
-// it completes the TransportKind vocabulary from simt/transport_kind.hpp
-// — but lives in src/onesided because it must see every concrete
-// Exchanger, including the one-sided backends.
-
-#include <memory>
-
-#include "simt/reliable_exchange.hpp"
-#include "simt/transport_kind.hpp"
-
-namespace sttsv::simt {
-
-/// Everything make_exchanger needs beyond the kind. The protocol knobs
-/// only matter for kReliable; the others ignore them.
-struct ExchangerConfig {
-  TransportKind kind = TransportKind::kDirect;
-  RetryPolicy retry{};
-  RecoveryPolicy recovery = RecoveryPolicy::kFailFast;
-  LivenessPolicy liveness{};
-};
-
-/// Constructs the backend for `config.kind` over `machine`:
-/// kDirect -> DirectExchange, kReliable -> ReliableExchange,
-/// kOneSidedPut / kActiveMessage -> onesided::OneSidedExchange in the
-/// corresponding mode. Every bench and the serving stack select their
-/// transport through here (plus transport_kind_from_env for the
-/// STTSV_TRANSPORT override) instead of naming concrete backends.
-[[nodiscard]] std::unique_ptr<Exchanger> make_exchanger(
-    Machine& machine, const ExchangerConfig& config);
-
-[[nodiscard]] inline std::unique_ptr<Exchanger> make_exchanger(
-    Machine& machine, TransportKind kind) {
-  ExchangerConfig config;
-  config.kind = kind;
-  return make_exchanger(machine, config);
-}
-
-}  // namespace sttsv::simt
+// Forwarding header: the transport factory moved to src/hier (it must
+// see the hierarchical backend, which depends on this library). Kept so
+// existing includes of "onesided/make_exchanger.hpp" stay valid.
+#include "hier/make_exchanger.hpp"  // IWYU pragma: export

@@ -23,8 +23,8 @@ OneSidedExchange::OneSidedExchange(simt::Machine& machine, Mode mode)
 
 void OneSidedExchange::open_epoch(EpochState& st) {
   const std::size_t P = machine_.num_ranks();
-  st.puts_issued.assign(P, 0);
-  st.puts_received.assign(P, 0);
+  for (auto& level : st.puts_issued) level.assign(P, 0);
+  for (auto& level : st.puts_received) level.assign(P, 0);
   st.pair_words.clear();
   st.max_pair_words = 0;
   st.onesided_words = 0;
@@ -71,8 +71,10 @@ void OneSidedExchange::put_part(
                                  words);
         st.onesided_words += words;
       }
-      ++st.puts_issued[from];
-      ++st.puts_received[env.to];
+      const auto lvl = static_cast<std::size_t>(
+          machine_.ledger().level_of(from, env.to));
+      ++st.puts_issued[lvl][from];
+      ++st.puts_received[lvl][env.to];
       const std::size_t pair =
           (st.pair_words[pair_key(from, env.to)] += words);
       st.max_pair_words = std::max(st.max_pair_words, pair);
@@ -93,43 +95,53 @@ std::vector<std::vector<simt::Delivery>> OneSidedExchange::settle(
 
   std::vector<std::vector<simt::Delivery>> inboxes(P);
   std::size_t total_puts = 0;
-  for (const std::size_t k : st.puts_issued) total_puts += k;
+  for (const auto& level : st.puts_issued) {
+    for (const std::size_t k : level) total_puts += k;
+  }
   if (total_puts > 0) {
     // The α-term: one fence per active origin, one exposure notification
-    // per active target. This—not the Puts—is what a one-sided epoch
-    // pays per message slot.
-    std::size_t fences = 0;
-    std::size_t notifications = 0;
-    for (std::size_t p = 0; p < P; ++p) {
-      if (st.puts_issued[p] > 0) ++fences;
-      if (st.puts_received[p] > 0) ++notifications;
-    }
-    machine_.ledger().add_sync_ops(fences + notifications);
-    stats_.fences += fences;
-    stats_.notifications += notifications;
-
-    // Rounds follow the two-sided schedule, charged to the dominant
-    // channel (onesided unless the epoch moved only recovery traffic).
+    // per active target, charged per level (DESIGN.md §17) — a rank that
+    // Put on both networks fences each of them. On a flat machine every
+    // Put lands on kIntra and the totals match the historical charge.
     const simt::Channel channel = st.onesided_words > 0
                                       ? simt::Channel::kOneSided
                                       : simt::Channel::kRecovery;
-    switch (transport) {
-      case simt::Transport::kPointToPoint: {
-        std::size_t delta = 0;
-        for (std::size_t p = 0; p < P; ++p) {
-          delta = std::max({delta, st.puts_issued[p], st.puts_received[p]});
-        }
-        machine_.ledger().add_rounds(channel, delta);
-        break;
+    for (std::size_t lvl = 0; lvl < simt::kNumLevels; ++lvl) {
+      std::size_t fences = 0;
+      std::size_t notifications = 0;
+      std::size_t delta = 0;
+      for (std::size_t p = 0; p < P; ++p) {
+        if (st.puts_issued[lvl][p] > 0) ++fences;
+        if (st.puts_received[lvl][p] > 0) ++notifications;
+        delta = std::max(
+            {delta, st.puts_issued[lvl][p], st.puts_received[lvl][p]});
       }
-      case simt::Transport::kAllToAll: {
-        if (P > 1) {
-          machine_.ledger().add_rounds(channel, P - 1);
-          machine_.ledger().add_modeled_collective_words(
-              (P - 1) * st.max_pair_words);
-        }
-        break;
+      if (fences + notifications > 0) {
+        machine_.ledger().add_sync_ops(static_cast<simt::Level>(lvl),
+                                       fences + notifications);
+        stats_.fences += fences;
+        stats_.notifications += notifications;
       }
+      // König rounds per level under the point-to-point schedule; the
+      // All-to-All collective is charged once below.
+      if (transport == simt::Transport::kPointToPoint && delta > 0) {
+        machine_.ledger().add_rounds(channel, static_cast<simt::Level>(lvl),
+                                     delta);
+      }
+    }
+    if (transport == simt::Transport::kAllToAll && P > 1) {
+      // One machine-wide collective: its steps are charged to the slowest
+      // level it touched (inter if any Put crossed nodes).
+      bool any_inter = false;
+      const std::size_t inter = static_cast<std::size_t>(simt::Level::kInter);
+      for (std::size_t p = 0; p < P; ++p) {
+        any_inter = any_inter || st.puts_issued[inter][p] > 0;
+      }
+      machine_.ledger().add_rounds(
+          channel, any_inter ? simt::Level::kInter : simt::Level::kIntra,
+          P - 1);
+      machine_.ledger().add_modeled_collective_words((P - 1) *
+                                                     st.max_pair_words);
     }
   }
 

@@ -41,6 +41,7 @@
 // honoured: Puts to or from a dead rank are dropped uncharged, mirroring
 // Machine's membership semantics.
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -49,6 +50,7 @@
 #include <vector>
 
 #include "onesided/segment_registry.hpp"
+#include "simt/ledger.hpp"
 #include "simt/reliable_exchange.hpp"
 
 namespace sttsv::obs {
@@ -116,9 +118,14 @@ class OneSidedExchange final : public simt::Exchanger {
 
   /// Per-epoch accounting accumulated across parts and settled at the
   /// fence — the analogue of Machine::ExchangeSession's deferred rounds.
+  /// Put counts are kept per topology level (DESIGN.md §17) so fences,
+  /// notifications and König rounds are charged to the network that
+  /// actually carried each Put; a flat machine puts everything on kIntra
+  /// and the totals match the historical single-level charge.
   struct EpochState {
-    std::vector<std::size_t> puts_issued;    ///< per origin rank
-    std::vector<std::size_t> puts_received;  ///< per target rank
+    /// [level][rank] Puts issued by / received at the rank.
+    std::array<std::vector<std::size_t>, simt::kNumLevels> puts_issued;
+    std::array<std::vector<std::size_t>, simt::kNumLevels> puts_received;
     std::unordered_map<std::uint64_t, std::size_t> pair_words;
     std::size_t max_pair_words = 0;
     std::uint64_t onesided_words = 0;

@@ -41,6 +41,9 @@ void SegmentRegistry::open_epoch() {
   for (Window& w : windows_) {
     w.cursor = 0;
     w.landed.clear();
+    // Adopted slabs go home to their origin shards here — the receiver's
+    // read window ended when it stopped being the "last closed epoch".
+    w.shared.clear();
   }
   ++epoch_;
   open_ = true;
@@ -66,6 +69,18 @@ Extent SegmentRegistry::put(std::size_t from, std::size_t to,
   return extent;
 }
 
+void SegmentRegistry::put_shared(std::size_t from, std::size_t to,
+                                 simt::PooledBuffer payload) {
+  STTSV_REQUIRE(open_, "put_shared outside an access epoch");
+  STTSV_REQUIRE(from < windows_.size() && to < windows_.size(),
+                "rank out of range");
+  STTSV_REQUIRE(from != to, "self-puts are local copies, not comm");
+  STTSV_REQUIRE(!payload.empty(), "put_shared needs a payload");
+  ++stats_.shared_puts;
+  stats_.shared_words += payload.size();
+  windows_[to].shared.push_back(SharedDelivery{from, std::move(payload)});
+}
+
 void SegmentRegistry::close_epoch() {
   STTSV_REQUIRE(open_, "no epoch to close");
   for (Window& w : windows_) {
@@ -73,6 +88,10 @@ void SegmentRegistry::close_epoch() {
     // matching the mailbox path's per-pair delivery order.
     std::stable_sort(w.landed.begin(), w.landed.end(),
                      [](const Extent& a, const Extent& b) {
+                       return a.from < b.from;
+                     });
+    std::stable_sort(w.shared.begin(), w.shared.end(),
+                     [](const SharedDelivery& a, const SharedDelivery& b) {
                        return a.from < b.from;
                      });
   }
@@ -84,6 +103,14 @@ const std::vector<Extent>& SegmentRegistry::extents(std::size_t rank) const {
   STTSV_REQUIRE(rank < windows_.size(), "rank out of range");
   STTSV_REQUIRE(!open_, "extents are unreadable until the epoch closes");
   return windows_[rank].landed;
+}
+
+const std::vector<SharedDelivery>& SegmentRegistry::shared(
+    std::size_t rank) const {
+  STTSV_REQUIRE(rank < windows_.size(), "rank out of range");
+  STTSV_REQUIRE(!open_,
+                "shared deliveries are unreadable until the epoch closes");
+  return windows_[rank].shared;
 }
 
 double* SegmentRegistry::window_data(std::size_t rank) {

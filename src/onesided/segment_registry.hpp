@@ -27,6 +27,15 @@
 // an epoch outgrows them (contents are preserved; growth trades slabs up
 // within the owner's pool shard) — steady state never grows, which the
 // allocation guard can assert.
+//
+// Shared-segment delivery (DESIGN.md §17): peers living on the same node
+// share an address space, so a node-local transfer need not be copied
+// into the target's window at all. put_shared() instead hands the
+// sender's PooledBuffer itself across — a zero-copy ownership transfer,
+// the PSHM fast path of real MPI stacks. Shared deliveries follow the
+// same epoch fence: they are posted during an open epoch, become
+// readable (origin-sorted) at close_epoch(), and the adopted slabs are
+// released back to their origin shards when the next epoch opens.
 
 #include <cstddef>
 #include <cstdint>
@@ -48,6 +57,15 @@ struct Extent {
   std::size_t words = 0;
 };
 
+/// One node-local zero-copy delivery: the origin rank and the sender's
+/// payload buffer, adopted whole. The receiver reads (or views into) the
+/// words in place; the slab returns to the origin's pool shard when the
+/// next epoch opens.
+struct SharedDelivery {
+  std::size_t from = 0;
+  simt::PooledBuffer payload;
+};
+
 class SegmentRegistry {
  public:
   struct Stats {
@@ -55,6 +73,8 @@ class SegmentRegistry {
     std::uint64_t puts = 0;          ///< put() calls ever
     std::uint64_t put_words = 0;     ///< payload words ever put
     std::uint64_t window_grows = 0;  ///< mid-epoch window growths
+    std::uint64_t shared_puts = 0;   ///< put_shared() calls ever
+    std::uint64_t shared_words = 0;  ///< payload words handed off shared
   };
 
   /// Registers one (initially empty) window per machine rank, carved
@@ -82,6 +102,14 @@ class SegmentRegistry {
   Extent put(std::size_t from, std::size_t to, const double* src,
              std::size_t words);
 
+  /// The node-local zero-copy write (DESIGN.md §17): hands `payload`
+  /// itself to `to`'s shared-delivery list, no copy and no window extent.
+  /// Requires an open epoch, from != to, and a non-empty payload. The
+  /// registry does not know the topology — the hierarchical backend is
+  /// responsible for routing only same-node traffic here.
+  void put_shared(std::size_t from, std::size_t to,
+                  simt::PooledBuffer payload);
+
   /// The exposure fence: landed extents become readable, sorted by
   /// origin (stable). Requires an open epoch.
   void close_epoch();
@@ -89,6 +117,18 @@ class SegmentRegistry {
   /// Extents landed in rank's window during the last closed epoch,
   /// origin-ascending. Throws while an epoch is open.
   [[nodiscard]] const std::vector<Extent>& extents(std::size_t rank) const;
+
+  /// Shared deliveries handed to rank during the last closed epoch,
+  /// origin-ascending (stable within an origin). Throws while an epoch
+  /// is open. Buffers stay valid until the next open_epoch().
+  [[nodiscard]] const std::vector<SharedDelivery>& shared(
+      std::size_t rank) const;
+  /// Non-const overload for the delivering backend: the views it hands
+  /// the receiver alias this storage.
+  [[nodiscard]] std::vector<SharedDelivery>& shared(std::size_t rank) {
+    return const_cast<std::vector<SharedDelivery>&>(
+        static_cast<const SegmentRegistry*>(this)->shared(rank));
+  }
 
   /// Base of rank's window storage — valid until the next growth (i.e.
   /// at least until the next epoch opens). Throws while an epoch is open.
@@ -101,6 +141,7 @@ class SegmentRegistry {
     simt::PooledBuffer storage;      ///< slab from the owner's pool shard
     std::size_t cursor = 0;          ///< next free word this epoch
     std::vector<Extent> landed;      ///< posting order; origin-sorted at close
+    std::vector<SharedDelivery> shared;  ///< same discipline, zero-copy
   };
 
   void grow_window(std::size_t rank, std::size_t min_words);

@@ -27,7 +27,9 @@ Frontend::Frontend(simt::Machine& machine,
               batch::EngineOptions{.max_batch_size = opts.batch_width,
                                    .exchanger = opts.exchanger,
                                    .transport = opts.transport,
-                                   .pipeline = opts.pipeline}),
+                                   .pipeline = opts.pipeline,
+                                   .topology = opts.topology,
+                                   .hier_inter = opts.hier_inter}),
       base_beta_ns_(opts.service_beta_ns) {
   STTSV_REQUIRE(opts_.batch_width >= 1, "batch width must be >= 1");
   STTSV_REQUIRE(opts_.global_queue_depth >= 1,

@@ -76,6 +76,14 @@ struct FrontendOptions {
   /// and owns a one-sided or active-message exchanger, and the front
   /// end's per-tenant attribution picks up the one-sided channel.
   simt::TransportKind transport = simt::TransportKind::kDirect;
+  /// Rank -> node map forwarded to batch::EngineOptions::topology
+  /// (DESIGN.md §17): non-empty splits the ledger's accounting by level
+  /// and, under TransportKind::kHierarchical, selects the composed
+  /// two-level backend. Ignored when an explicit `exchanger` is supplied.
+  std::vector<std::uint32_t> topology;
+  /// Inter-node backend under kHierarchical, forwarded to
+  /// batch::EngineOptions::hier_inter.
+  simt::TransportKind hier_inter = simt::TransportKind::kDirect;
 };
 
 /// One finished job as delivered to its submit callback.

@@ -269,6 +269,18 @@ void BufferPool::reserve(std::size_t shard, std::size_t capacity_words,
   }
 }
 
+void BufferPool::touch(std::size_t shard) {
+  STTSV_REQUIRE(shard < shards_.size(), "buffer pool shard out of range");
+  Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (std::size_t b = 0; b < s.free_lists.size(); ++b) {
+    const std::size_t words = kMinSlabWords << b;
+    for (double* slab : s.free_lists[b]) {
+      std::fill(slab, slab + words, 0.0);
+    }
+  }
+}
+
 void BufferPool::trim() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

@@ -161,6 +161,14 @@ class BufferPool {
   /// Frees every cached (idle) slab; outstanding buffers are unaffected.
   void trim();
 
+  /// NUMA first touch (DESIGN.md §17): zero-fills every idle slab on the
+  /// shard's free lists from the calling thread, faulting their pages on
+  /// that thread's socket. Machine::first_touch runs this per rank from
+  /// the worker that will drive the rank, so reserve()d slabs — which
+  /// malloc lazily maps wherever the reserving thread ran — end up local
+  /// to their consumer. Touches storage only; never allocates or frees.
+  void touch(std::size_t shard);
+
   [[nodiscard]] Stats stats() const;
 
   /// Slab capacity a request for `capacity_words` is rounded up to.

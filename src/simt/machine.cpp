@@ -39,10 +39,9 @@ void Machine::record_rank_loss(RankLossReport report) {
 }
 
 Machine::ExchangeSession::ExchangeSession(Machine& machine, Transport transport)
-    : machine_(machine),
-      transport_(transport),
-      sends_per_rank_(machine.P_, 0),
-      recvs_per_rank_(machine.P_, 0) {
+    : machine_(machine), transport_(transport) {
+  for (auto& level : sends_per_rank_) level.assign(machine.P_, 0);
+  for (auto& level : recvs_per_rank_) level.assign(machine.P_, 0);
   // The span's category is settled at finish(): an exchange moving no
   // goodput is pure protocol traffic and lands on the overhead channel
   // (kRetry) in any exported trace. Opened here, on the driver thread, so
@@ -92,6 +91,14 @@ std::vector<std::vector<Delivery>> Machine::ExchangeSession::part(
   CommLedger& ledger = machine_.ledger_;
   std::vector<std::vector<Delivery>> inboxes(P);
 
+  // Round slots accumulate per level: the frame occupies a step of its
+  // own network (node-local crossbar or inter-node fabric).
+  const auto count_slot = [&](std::size_t from, std::size_t to) {
+    const auto lvl = static_cast<std::size_t>(ledger.level_of(from, to));
+    ++sends_per_rank_[lvl][from];
+    ++recvs_per_rank_[lvl][to];
+  };
+
   for (std::size_t from = 0; from < P; ++from) {
     // Deterministic delivery order: by destination, then insertion order.
     std::stable_sort(outboxes[from].begin(), outboxes[from].end(),
@@ -113,8 +120,7 @@ std::vector<std::vector<Delivery>> Machine::ExchangeSession::part(
         ledger.record_recovery(from, env.to, env.data.size());
         total_recovery_ += env.data.size();
         max_pair_words_ = std::max(max_pair_words_, env.data.size());
-        ++sends_per_rank_[from];
-        ++recvs_per_rank_[env.to];
+        count_slot(from, env.to);
         if (injector != nullptr) {
           switch (injector->on_frame(from, env.to, env.data)) {
             case FaultInjector::Action::kDrop:
@@ -140,8 +146,7 @@ std::vector<std::vector<Delivery>> Machine::ExchangeSession::part(
       max_pair_words_ = std::max(max_pair_words_, env.data.size());
       // Rounds reflect the intended schedule: a dropped frame still held
       // its slot, an injected duplicate rides along without one.
-      ++sends_per_rank_[from];
-      ++recvs_per_rank_[env.to];
+      count_slot(from, env.to);
 
       if (injector != nullptr) {
         switch (injector->on_frame(from, env.to, env.data)) {
@@ -198,34 +203,46 @@ void Machine::ExchangeSession::finish() {
     if (recovery_rounds) span_->set_category(obs::Category::kRecovery);
     if (overhead_only) span_->set_category(obs::Category::kRetry);
   }
-  const auto charge_rounds = [&](std::size_t k) {
-    if (recovery_rounds) {
-      ledger.add_recovery_rounds(k);
-    } else if (overhead_only) {
-      ledger.add_overhead_rounds(k);
-    } else {
-      ledger.add_rounds(k);
-    }
-  };
+  const Channel round_channel = recovery_rounds ? Channel::kRecovery
+                                : overhead_only ? Channel::kOverhead
+                                                : Channel::kGoodput;
   switch (transport_) {
     case Transport::kPointToPoint: {
       // König: a bipartite multigraph with max degree Δ is Δ-edge-
       // colorable, so the exchange completes in Δ steps where
       // Δ = max over ranks of max(#sends, #receives). The degrees are
       // summed over every part, so a pipelined session charges exactly
-      // the rounds of the equivalent single exchange.
-      std::size_t delta = 0;
-      for (std::size_t p = 0; p < machine_.P_; ++p) {
-        delta = std::max({delta, sends_per_rank_[p], recvs_per_rank_[p]});
+      // the rounds of the equivalent single exchange. Each level is
+      // colored independently (DESIGN.md §17): node-local frames occupy
+      // intra steps, cross-node frames inter steps. A flat machine puts
+      // every frame on kIntra, reproducing the historical single charge.
+      for (std::size_t lvl = 0; lvl < kNumLevels; ++lvl) {
+        std::size_t delta = 0;
+        for (std::size_t p = 0; p < machine_.P_; ++p) {
+          delta = std::max(
+              {delta, sends_per_rank_[lvl][p], recvs_per_rank_[lvl][p]});
+        }
+        if (delta > 0) {
+          ledger.add_rounds(round_channel, static_cast<Level>(lvl), delta);
+        }
       }
-      charge_rounds(delta);
       break;
     }
     case Transport::kAllToAll: {
       // Bandwidth-optimal All-to-All: P-1 steps, every step charged the
       // largest per-pair buffer (empty slots still occupy the schedule).
+      // The collective is one machine-wide operation, so its steps are
+      // charged once, to the slowest level it touched (inter if any
+      // frame crossed nodes, intra otherwise).
       if (machine_.P_ > 1) {
-        charge_rounds(machine_.P_ - 1);
+        bool any_inter = false;
+        const std::size_t inter = static_cast<std::size_t>(Level::kInter);
+        for (std::size_t p = 0; p < machine_.P_; ++p) {
+          any_inter = any_inter || sends_per_rank_[inter][p] > 0;
+        }
+        ledger.add_rounds(round_channel,
+                          any_inter ? Level::kInter : Level::kIntra,
+                          machine_.P_ - 1);
         ledger.add_modeled_collective_words((machine_.P_ - 1) *
                                             max_pair_words_);
       }
@@ -269,6 +286,14 @@ void Machine::run_ranks(const std::vector<std::size_t>& ranks,
   });
 }
 
-void Machine::reset_ledger() { ledger_ = CommLedger(P_); }
+void Machine::first_touch() {
+  run_ranks([this](std::size_t p) { pool_.touch(p); });
+}
+
+void Machine::reset_ledger() {
+  std::vector<std::uint32_t> node_map = ledger_.node_map();
+  ledger_ = CommLedger(P_);
+  if (!node_map.empty()) ledger_.set_node_map(std::move(node_map));
+}
 
 }  // namespace sttsv::simt

@@ -29,6 +29,7 @@
 // dead peer. Detected losses are recorded as RankLossReports here, and
 // each death bumps a membership epoch that invalidates cached plans.
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -142,8 +143,12 @@ class Machine {
     bool injector_started_ = false;
     bool finished_ = false;
     std::size_t parts_ = 0;
-    std::vector<std::size_t> sends_per_rank_;
-    std::vector<std::size_t> recvs_per_rank_;
+    /// Per-level König degrees (DESIGN.md §17): the intra networks of the
+    /// nodes and the inter-node network schedule independently, so each
+    /// level gets its own Δ. On a flat machine everything lands on
+    /// kIntra and the totals match the historical single-level charge.
+    std::array<std::vector<std::size_t>, kNumLevels> sends_per_rank_;
+    std::array<std::vector<std::size_t>, kNumLevels> recvs_per_rank_;
     std::size_t max_pair_words_ = 0;
     std::size_t total_goodput_ = 0;
     std::size_t total_overhead_ = 0;
@@ -186,6 +191,15 @@ class Machine {
   [[nodiscard]] BufferPool& pool() { return pool_; }
   [[nodiscard]] const BufferPool& pool() const { return pool_; }
 
+  /// NUMA-friendly first touch (DESIGN.md §17): writes every idle slab of
+  /// each rank's pool shard from a worker thread via run_ranks, so the
+  /// pages backing rank-local message buffers are faulted on the socket
+  /// that will drive them — not on whichever thread happened to call
+  /// prewarm. Call after BufferPool::reserve / Plan::prewarm_pool;
+  /// idempotent and allocation-free (it only touches what is already
+  /// reserved).
+  void first_touch();
+
   /// Installs (or with nullptr removes) a wire fault injector. Non-owning;
   /// the injector must outlive its installation.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
@@ -217,6 +231,8 @@ class Machine {
   }
 
   /// Resets accounting (e.g. to ignore a warm-up distribution phase).
+  /// An installed node map survives the reset: the machine's topology is
+  /// physical, not per-run.
   void reset_ledger();
 
  private:

@@ -1,9 +1,10 @@
 #pragma once
-// Transport selection vocabulary (DESIGN.md §16). The enum lives in simt
-// so the batch/serve option structs can name a backend without pulling in
-// the one-sided subsystem; the factory that actually constructs backends
-// is simt::make_exchanger in src/onesided/make_exchanger.hpp (declared
-// there because it must see every concrete Exchanger).
+// Transport selection vocabulary (DESIGN.md §16, §17). The enum lives in
+// simt so the batch/serve option structs can name a backend without
+// pulling in the one-sided subsystem; the factory that actually
+// constructs backends is simt::make_exchanger in
+// src/hier/make_exchanger.hpp (declared there because it must see every
+// concrete Exchanger, including the hierarchical one).
 
 #include <optional>
 #include <string>
@@ -11,7 +12,7 @@
 
 namespace sttsv::simt {
 
-/// The four exchange backends a driver can run on. Spelled exactly like
+/// The five exchange backends a driver can run on. Spelled exactly like
 /// the STTSV_TRANSPORT environment values and bench CLI flags.
 enum class TransportKind {
   kDirect,         // "direct":   raw machine semantics, zero overhead
@@ -20,9 +21,12 @@ enum class TransportKind {
                    //             deliveries, no framing round
   kActiveMessage,  // "am":       onesided + remote-reduce handler at the
                    //             target (no unpack-and-reduce at all)
+  kHierarchical,   // "hier":     topology-split — node-local traffic via
+                   //             shared segments, cross-node via an inner
+                   //             backend (DESIGN.md §17)
 };
 
-/// Stable lowercase spelling: direct | reliable | onesided | am.
+/// Stable lowercase spelling: direct | reliable | onesided | am | hier.
 [[nodiscard]] const char* transport_kind_name(TransportKind kind);
 
 /// Parses the spellings above; nullopt for anything else.

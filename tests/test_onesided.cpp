@@ -428,16 +428,19 @@ TEST(LedgerChannels, OneSidedMetricsExported) {
 
 // --- Factory and environment selection --------------------------------------
 
-TEST(TransportKindSelection, ParsesTheFourSpellings) {
+TEST(TransportKindSelection, ParsesTheFiveSpellings) {
   EXPECT_EQ(simt::parse_transport_kind("direct"), TransportKind::kDirect);
   EXPECT_EQ(simt::parse_transport_kind("reliable"), TransportKind::kReliable);
   EXPECT_EQ(simt::parse_transport_kind("onesided"),
             TransportKind::kOneSidedPut);
   EXPECT_EQ(simt::parse_transport_kind("am"), TransportKind::kActiveMessage);
+  EXPECT_EQ(simt::parse_transport_kind("hier"),
+            TransportKind::kHierarchical);
   EXPECT_EQ(simt::parse_transport_kind("rdma"), std::nullopt);
   for (const TransportKind kind :
        {TransportKind::kDirect, TransportKind::kReliable,
-        TransportKind::kOneSidedPut, TransportKind::kActiveMessage}) {
+        TransportKind::kOneSidedPut, TransportKind::kActiveMessage,
+        TransportKind::kHierarchical}) {
     EXPECT_EQ(simt::parse_transport_kind(simt::transport_kind_name(kind)),
               kind);
   }
@@ -466,6 +469,57 @@ TEST(TransportKindSelection, FactoryBuildsEachBackend) {
   EXPECT_TRUE(am->supports_handler_delivery());
   EXPECT_EQ(&direct->machine(), &machine);
   EXPECT_EQ(&am->machine(), &machine);
+}
+
+TEST(TransportKindSelection, FactoryRejectsUnknownKindNamingTheTokens) {
+  // An out-of-enum kind (casted int, stale config) must fail loudly with
+  // the accepted spellings — never fall back to direct silently.
+  Machine machine(4);
+  bool threw = false;
+  try {
+    (void)simt::make_exchanger(machine, static_cast<TransportKind>(99));
+  } catch (const PreconditionError& e) {
+    threw = true;
+    EXPECT_NE(std::string(e.what()).find("direct|reliable|onesided|am|hier"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(TransportKindSelection, HierarchicalNeedsATopology) {
+  ::unsetenv("STTSV_TOPOLOGY");
+  Machine machine(4);
+  // No node_of and no STTSV_TOPOLOGY: the factory must say what to set.
+  bool threw = false;
+  try {
+    (void)simt::make_exchanger(machine, TransportKind::kHierarchical);
+  } catch (const PreconditionError& e) {
+    threw = true;
+    const std::string what = e.what();
+    EXPECT_NE(what.find("node_of"), std::string::npos) << what;
+    EXPECT_NE(what.find("STTSV_TOPOLOGY"), std::string::npos) << what;
+  }
+  EXPECT_TRUE(threw);
+
+  // With the env override set, the same call builds the backend (and the
+  // ledger now splits by level).
+  ::setenv("STTSV_TOPOLOGY", "2x2", 1);
+  Machine machine2(4);
+  auto hier = simt::make_exchanger(machine2, TransportKind::kHierarchical);
+  EXPECT_FALSE(hier->supports_handler_delivery());
+  EXPECT_EQ(machine2.ledger().num_nodes(), 2u);
+  ::unsetenv("STTSV_TOPOLOGY");
+
+  // An active-message fabric under the hierarchy is rejected: its handler
+  // order would interleave with shared deliveries.
+  simt::ExchangerConfig config;
+  config.kind = TransportKind::kHierarchical;
+  config.node_of = {0, 0, 1, 1};
+  config.hier_inter = TransportKind::kActiveMessage;
+  Machine machine3(4);
+  EXPECT_THROW((void)simt::make_exchanger(machine3, config),
+               PreconditionError);
 }
 
 // --- Engine and serve plumbing ----------------------------------------------
